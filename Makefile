@@ -1,0 +1,32 @@
+# Convenience targets for the FDIP reproduction.
+
+PY ?= python
+
+.PHONY: install test test-fast bench bench-full report calibrate clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+test-fast:
+	$(PY) -m pytest tests/ -m "not slow"
+
+bench:
+	REPRO_RESULT_CACHE=.result_cache \
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 REPRO_RESULT_CACHE=.result_cache \
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PY) -m repro report -o report.md
+
+calibrate:
+	$(PY) -m repro calibrate
+
+clean:
+	rm -rf .trace_cache .result_cache benchmarks/results \
+	       .pytest_cache .hypothesis

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every ``bench_e*.py`` regenerates one table/figure of the evaluation (see
+DESIGN.md experiment index).  All benches share one :class:`Runner` so
+simulation points required by several experiments are simulated once.
+
+Each bench prints its table through :func:`emit`, which writes to stdout
+and to ``benchmarks/results/<id>.txt``.  Note that pytest's default
+fd-level capture swallows stdout from passing tests — run with ``-s``
+(``pytest benchmarks/ --benchmark-only -s``) to see the tables inline;
+they are always saved under ``benchmarks/results/`` either way.
+
+Environment knobs:
+
+- ``REPRO_TRACE_LEN=<n>`` — instructions per workload trace.
+- ``REPRO_FULL=1`` — long traces (400k) instead of the quick default (60k).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.harness import ExperimentTable, Runner, run_experiment
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_runner: Runner | None = None
+
+
+def get_runner() -> Runner:
+    """The process-wide memoizing experiment runner."""
+    global _runner
+    if _runner is None:
+        _runner = Runner()
+    return _runner
+
+
+def emit(table: ExperimentTable) -> None:
+    """Print the table past pytest's capture and save it to disk."""
+    text = table.formatted()
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    out = _RESULTS_DIR / f"{table.experiment_id}.txt"
+    out.write_text(text + "\n", encoding="utf-8")
+
+
+def run_and_emit(experiment_id: str) -> ExperimentTable:
+    """Run one experiment on the shared runner and publish its table."""
+    table = run_experiment(experiment_id, get_runner())
+    emit(table)
+    return table

@@ -1,0 +1,14 @@
+"""Benchmark E10: Equal-storage FDIP vs stream buffers.
+
+Geomean speedups with matched prefetch storage 8..64 blocks.
+Regenerates the E10 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e10_equal_storage(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E10",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E10 produced no rows"

@@ -1,0 +1,14 @@
+"""Benchmark E11: CPF tag-port and wrong-path ablations.
+
+Filtering effectiveness vs idle tag ports; wrong-path on/off.
+Regenerates the E11 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e11_cpf_ports(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E11",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E11 produced no rows"

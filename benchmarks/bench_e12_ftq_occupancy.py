@@ -1,0 +1,14 @@
+"""Benchmark E12: Front-end characterization.
+
+FTQ occupancy and fetch-block size distributions under FDIP.
+Regenerates the E12 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e12_ftq_occupancy(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E12",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E12 produced no rows"

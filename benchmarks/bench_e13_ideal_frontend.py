@@ -1,0 +1,15 @@
+"""Benchmark E13: Idealized front-end limit study.
+
+Perfect conditional-direction prediction and ideal cache probe filtering
+as upper bounds on FDIP's remaining headroom.
+Regenerates the E13 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e13_ideal_frontend(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E13",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E13 produced no rows"

@@ -1,0 +1,9 @@
+"""Benchmark E14: Fetch-cycle_breakdown (see DESIGN.md experiment index)."""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e14_stall_breakdown(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E14",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E14 produced no rows"

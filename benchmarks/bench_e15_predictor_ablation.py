@@ -1,0 +1,9 @@
+"""Benchmark E15: Direction_predictor_ablation (see DESIGN.md experiment index)."""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e15_predictor_ablation(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E15",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E15 produced no rows"

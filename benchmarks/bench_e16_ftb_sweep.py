@@ -1,0 +1,9 @@
+"""Benchmark E16: see DESIGN.md experiment index for what it regenerates."""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e16_ftb_sweep(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E16",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E16 produced no rows"

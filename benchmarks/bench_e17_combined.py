@@ -1,0 +1,9 @@
+"""Benchmark E17: see DESIGN.md experiment index for what it regenerates."""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e17_combined(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E17",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E17 produced no rows"

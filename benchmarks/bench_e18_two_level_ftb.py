@@ -1,0 +1,9 @@
+"""Benchmark E18: two-level FTB vs monolithic (scalable front end)."""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e18_two_level_ftb(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E18",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E18 produced no rows"

@@ -1,0 +1,9 @@
+"""Benchmark E19: secondary sensitivity sweeps (assoc/block/PIQ/MSHR/bus)."""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e19_sensitivity(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E19",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E19 produced no rows"

@@ -1,0 +1,14 @@
+"""Benchmark E1: Machine configuration table.
+
+Static: formats the simulated machine parameters.
+Regenerates the E1 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e1_config_table(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E1",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E1 produced no rows"

@@ -1,0 +1,9 @@
+"""Benchmark E20: seed-sensitivity of the headline FDIP speedup."""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e20_seed_sensitivity(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E20",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E20 produced no rows"

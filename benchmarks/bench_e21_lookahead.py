@@ -1,0 +1,9 @@
+"""Benchmark E21: FDIP lookahead-window tuning."""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e21_lookahead(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E21",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E21 produced no rows"

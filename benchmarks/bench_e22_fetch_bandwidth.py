@@ -1,0 +1,9 @@
+"""Benchmark E22: fetch bandwidth (banked access / width) sensitivity."""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e22_fetch_bandwidth(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E22",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E22 produced no rows"

@@ -1,0 +1,14 @@
+"""Benchmark E2: Workload characterization table.
+
+Characterizes all 8 workloads plus a no-prefetch baseline run each.
+Regenerates the E2 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e2_workloads(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E2",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E2 produced no rows"

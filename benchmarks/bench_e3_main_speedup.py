@@ -1,0 +1,14 @@
+"""Benchmark E3: Main result: speedup by technique.
+
+8 workloads x 6 prefetch techniques vs the no-prefetch baseline.
+Regenerates the E3 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e3_main_speedup(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E3",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E3 produced no rows"

@@ -1,0 +1,14 @@
+"""Benchmark E4: Bus utilization by technique.
+
+Same matrix as E3; reports L2 bus occupancy instead of IPC.
+Regenerates the E4 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e4_bus_utilization(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E4",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E4 produced no rows"

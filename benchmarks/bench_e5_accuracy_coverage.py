@@ -1,0 +1,14 @@
+"""Benchmark E5: Prefetch accuracy and coverage.
+
+Useful/late/issued prefetch accounting per technique.
+Regenerates the E5 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e5_accuracy_coverage(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E5",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E5 produced no rows"

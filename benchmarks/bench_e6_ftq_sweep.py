@@ -1,0 +1,14 @@
+"""Benchmark E6: FTQ depth sensitivity.
+
+FDIP speedup as the fetch target queue deepens 1..32.
+Regenerates the E6 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e6_ftq_sweep(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E6",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E6 produced no rows"

@@ -1,0 +1,14 @@
+"""Benchmark E7: Prefetch buffer size sensitivity.
+
+FDIP speedup with 8..64 prefetch buffer entries.
+Regenerates the E7 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e7_pbuf_sweep(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E7",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E7 produced no rows"

@@ -1,0 +1,14 @@
+"""Benchmark E8: Memory latency sensitivity.
+
+FDIP speedup at 0.5x..4x L2/memory latency.
+Regenerates the E8 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e8_latency_sweep(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E8",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E8 produced no rows"

@@ -1,0 +1,14 @@
+"""Benchmark E9: L1-I size sensitivity (16KB vs 32KB).
+
+FDIP gain shrinks when the cache absorbs the working set.
+Regenerates the E9 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured notes).
+"""
+
+from benchmarks._common import run_and_emit
+
+
+def test_e9_icache_size(benchmark):
+    table = benchmark.pedantic(run_and_emit, args=("E9",),
+                               rounds=1, iterations=1)
+    assert table.rows, "E9 produced no rows"

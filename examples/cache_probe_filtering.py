@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Cache probe filtering study.
+
+Shows *why* filtering matters: unfiltered FDIP issues a prefetch for every
+predicted cache block, most of which are already in the L1-I.  Each
+filtering variant (enqueue, remove, ideal) trades idle tag-port probes for
+bus bandwidth.  The table reports, per variant, the speedup, the bus
+utilization, how many candidates were filtered, and where.
+
+Usage::
+
+    python examples/cache_probe_filtering.py [workload] [trace_length]
+"""
+
+import sys
+
+from repro.harness import Runner, technique_config
+from repro.stats import format_table
+
+
+def main() -> int:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "vortex_like"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 80_000
+
+    runner = Runner(trace_length=length)
+    base = runner.run(workload, technique_config("none"))
+
+    rows = []
+    for technique in ("fdip_nofilter", "fdip_enqueue", "fdip_remove",
+                      "fdip_ideal"):
+        result = runner.run(workload, technique_config(technique))
+        rows.append([
+            technique.removeprefix("fdip_"),
+            result.speedup_over(base),
+            result.bus_utilization,
+            result.prefetches_issued,
+            result.get("fdip.filtered_enqueue"),
+            result.get("fdip.filtered_remove"),
+            result.get("fdip.filtered_ideal"),
+            result.prefetch_accuracy,
+        ])
+
+    print(format_table(
+        ["filter", "speedup", "bus util", "issued", "filt@enq",
+         "filt@piq", "filt@oracle", "accuracy"],
+        rows,
+        title=f"Cache probe filtering on {workload} "
+              f"({length} instructions; baseline IPC {base.ipc:.3f}, "
+              f"bus {base.bus_utilization:.3f})"))
+    print()
+    print("Reading the table: filtering drops redundant prefetches before")
+    print("they reach the bus — utilization falls while speedup holds or")
+    print("improves, which is the paper's core argument for CPF.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Compare every prefetching technique across the workload suite.
+
+Regenerates a compact version of the paper's main comparison (experiment
+E3): IPC speedup over the no-prefetch baseline for tagged next-line
+prefetching, stream buffers, and FDIP with each cache-probe-filtering
+variant.
+
+Usage::
+
+    python examples/compare_prefetchers.py [trace_length] [workload ...]
+"""
+
+import sys
+
+from repro.harness import Runner, TECHNIQUE_ORDER, technique_config
+from repro.stats import format_table
+from repro.workloads import ALL_WORKLOADS
+
+
+def main() -> int:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    workloads = sys.argv[2:] or list(ALL_WORKLOADS)
+
+    runner = Runner(trace_length=length)
+    baseline = technique_config("none")
+    techniques = [t for t in TECHNIQUE_ORDER if t != "none"]
+
+    rows = []
+    for workload in workloads:
+        base = runner.run(workload, baseline)
+        row: list[object] = [workload, base.ipc]
+        for technique in techniques:
+            result = runner.run(workload, technique_config(technique))
+            row.append(result.speedup_over(base))
+        rows.append(row)
+        print(f"  {workload}: done", file=sys.stderr)
+
+    print(format_table(["workload", "base IPC", *techniques], rows,
+                       title=f"Speedup over no-prefetch "
+                             f"({length} instructions/workload)"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Build, persist, and simulate a custom synthetic workload.
+
+Demonstrates the workload substrate end to end: define a program shape,
+generate the control-flow graph, characterize the resulting trace, write
+it to a trace file, read it back, and run the FTQ-depth sensitivity sweep
+on it (a miniature experiment E6).
+
+Usage::
+
+    python examples/custom_workload.py [output.trace.gz]
+"""
+
+import dataclasses
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import PrefetchConfig, SimConfig, run_simulation
+from repro.cfg import ProgramShape, generate_program
+from repro.stats import format_table
+from repro.trace import Trace, characterize, read_trace, write_trace
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(tempfile.gettempdir()) / "custom.trace.gz"
+
+    # A mid-sized "transaction processing" shape: a 48-way dispatch loop
+    # over handlers, moderately predictable branches, indirect-call heavy.
+    shape = ProgramShape(
+        target_instrs=36_864,
+        n_functions=144,
+        dispatcher_fanout=48,
+        dispatcher_zipf_s=0.2,
+        p_call_indirect=0.30,
+        p_loop=0.18,
+        call_zipf_s=0.4,
+    )
+    program = generate_program(shape, seed=7, name="custom_txn")
+    print(f"generated {program!r}")
+
+    trace = Trace.from_program(program, 80_000, seed=3)
+    stats = characterize(trace)
+    print(f"trace: {stats.n_records} records, "
+          f"footprint {stats.footprint_kb:.1f}KB "
+          f"({stats.distinct_blocks} cache blocks), "
+          f"control fraction {stats.control_fraction:.2f}")
+
+    write_trace(trace, out_path)
+    reloaded = read_trace(out_path)
+    assert len(reloaded) == len(trace)
+    print(f"trace round-tripped through {out_path}")
+
+    rows = []
+    for depth in (1, 4, 16, 32):
+        def config_for(kind: str) -> SimConfig:
+            config = SimConfig(prefetch=PrefetchConfig(
+                kind=kind, filter_mode="enqueue"))
+            return config.replace(frontend=dataclasses.replace(
+                config.frontend, ftq_depth=depth))
+
+        base = run_simulation(reloaded, config_for("none"))
+        fdip = run_simulation(reloaded, config_for("fdip"))
+        rows.append([depth, base.ipc, fdip.ipc, fdip.speedup_over(base),
+                     fdip.ftq_mean_occupancy])
+
+    print()
+    print(format_table(
+        ["ftq depth", "base IPC", "fdip IPC", "speedup", "mean FTQ occ"],
+        rows, title="FTQ depth sweep on the custom workload"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

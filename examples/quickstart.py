@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload with and without FDIP.
+
+Builds a synthetic server-like instruction trace, runs the no-prefetch
+baseline and fetch-directed prefetching with enqueue cache-probe
+filtering, and prints the headline metrics.
+
+Usage::
+
+    python examples/quickstart.py [workload] [trace_length]
+"""
+
+import sys
+
+from repro import PrefetchConfig, SimConfig, run_simulation
+from repro.workloads import ALL_WORKLOADS, build_trace
+
+
+def main() -> int:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "perl_like"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 100_000
+    if workload not in ALL_WORKLOADS:
+        print(f"unknown workload {workload!r}; choose from: "
+              f"{', '.join(ALL_WORKLOADS)}")
+        return 1
+
+    print(f"building {length} instruction trace for {workload} ...")
+    trace = build_trace(workload, length)
+
+    baseline_config = SimConfig(prefetch=PrefetchConfig(kind="none"))
+    fdip_config = SimConfig(prefetch=PrefetchConfig(kind="fdip",
+                                                    filter_mode="enqueue"))
+
+    print("simulating no-prefetch baseline ...")
+    baseline = run_simulation(trace, baseline_config)
+    print("simulating FDIP (enqueue cache probe filtering) ...")
+    fdip = run_simulation(trace, fdip_config)
+
+    print()
+    print(f"{'metric':24s} {'baseline':>10s} {'fdip':>10s}")
+    print(f"{'IPC':24s} {baseline.ipc:10.3f} {fdip.ipc:10.3f}")
+    print(f"{'L1-I MPKI':24s} {baseline.l1i_mpki:10.2f} "
+          f"{fdip.l1i_mpki:10.2f}")
+    print(f"{'bus utilization':24s} {baseline.bus_utilization:10.3f} "
+          f"{fdip.bus_utilization:10.3f}")
+    print(f"{'prefetches issued':24s} {0:10d} "
+          f"{fdip.prefetches_issued:10d}")
+    print(f"{'prefetch accuracy':24s} {'-':>10s} "
+          f"{fdip.prefetch_accuracy:10.2%}")
+    print(f"{'prefetch coverage':24s} {'-':>10s} "
+          f"{fdip.prefetch_coverage:10.2%}")
+    print()
+    print(f"FDIP speedup over baseline: {fdip.speedup_over(baseline):.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

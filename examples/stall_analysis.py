@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Where do the cycles go?  Fetch-stall accounting with ASCII charts.
+
+Runs a server workload under each prefetching technique, prints the
+fetch-cycle breakdown (experiment E14's data) as bar charts, and shows
+the prefetch lead-time distribution for FDIP — how far ahead of demand
+the prefetches land.
+
+Usage::
+
+    python examples/stall_analysis.py [workload] [trace_length]
+"""
+
+import sys
+
+from repro.analysis import (
+    bar_chart,
+    histogram_chart,
+    stall_breakdown,
+    timeliness_summary,
+)
+from repro.harness import Runner, technique_config
+
+
+def main() -> int:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gcc_like"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 80_000
+
+    runner = Runner(trace_length=length)
+    techniques = ("none", "nlp", "stream", "fdip_enqueue")
+
+    print(f"== fetch-cycle accounting on {workload} "
+          f"({length} instructions) ==\n")
+    for technique in techniques:
+        result = runner.run(workload, technique_config(technique))
+        breakdown = stall_breakdown(result)
+        print(bar_chart(
+            ["active", "icache miss", "window full", "ftq empty"],
+            [breakdown.active, breakdown.icache_miss,
+             breakdown.window_full, breakdown.ftq_empty],
+            width=36,
+            title=f"{technique}  (IPC {result.ipc:.3f})"))
+        print()
+
+    fdip = runner.run(workload, technique_config("fdip_enqueue"))
+    summary = timeliness_summary(fdip)
+    print(f"== FDIP prefetch timeliness ==")
+    print(f"useful {summary.useful}, late {summary.late} "
+          f"({summary.late_fraction:.1%} of covered misses arrived "
+          f"after being demanded)")
+    print(f"lead cycles: mean {summary.mean_lead_cycles:.1f}, "
+          f"p50 {summary.p50_lead_cycles}, p90 {summary.p90_lead_cycles}")
+    print()
+    print(histogram_chart(fdip.prefetch_lead_hist, width=36,
+                          title="lead-time distribution (cycles -> count)"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

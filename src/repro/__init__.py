@@ -1,0 +1,72 @@
+"""repro — Fetch Directed Instruction Prefetching (MICRO-32, 1999).
+
+A from-scratch reproduction of Reinman, Calder and Austin's fetch-directed
+instruction prefetching: a decoupled front end (fetch target buffer +
+hybrid direction predictor + return address stack feeding a fetch target
+queue), the FDIP prefetch engine with cache probe filtering, the classic
+baselines it was evaluated against (tagged next-line prefetching and
+stream buffers), and the cycle-level cache/bus/core substrate everything
+runs on — driven by seeded synthetic workload traces.
+
+Quickstart::
+
+    from repro import SimConfig, PrefetchConfig, run_simulation
+    from repro.workloads import build_trace
+
+    trace = build_trace("gcc_like", length=200_000)
+    config = SimConfig(prefetch=PrefetchConfig(kind="fdip",
+                                               filter_mode="enqueue"))
+    result = run_simulation(trace, config)
+    print(result.ipc, result.l1i_mpki)
+"""
+
+from repro.config import (
+    CacheGeometry,
+    CoreConfig,
+    FilterMode,
+    FrontEndConfig,
+    MemoryConfig,
+    PredictorConfig,
+    PrefetchConfig,
+    PrefetcherKind,
+    SimConfig,
+)
+from repro.errors import (
+    ConfigError,
+    GenerationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.sim import SimResult, Simulator, run_simulation
+from repro.trace import Trace, TraceRecord, characterize
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimConfig",
+    "CoreConfig",
+    "FrontEndConfig",
+    "PredictorConfig",
+    "MemoryConfig",
+    "CacheGeometry",
+    "PrefetchConfig",
+    "PrefetcherKind",
+    "FilterMode",
+    # simulation
+    "Simulator",
+    "SimResult",
+    "run_simulation",
+    # traces
+    "Trace",
+    "TraceRecord",
+    "characterize",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "GenerationError",
+    "SimulationError",
+]

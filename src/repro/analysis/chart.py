@@ -1,0 +1,72 @@
+"""Plain-text charts for terminal reports.
+
+No plotting dependencies are available offline, so the report tooling
+renders horizontal ASCII bar charts — good enough to see the shapes the
+paper's figures show (who wins, where curves saturate).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["bar_chart", "histogram_chart"]
+
+_BAR = "#"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, title: str | None = None,
+              fmt: str = "{:.3f}") -> str:
+    """Render one horizontal bar per (label, value).
+
+    Bars are scaled to the maximum value; zero/negative values get an
+    empty bar but keep their printed value.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    lines = []
+    if title:
+        lines.append(title)
+    if not labels:
+        return "\n".join(lines) if lines else ""
+    label_width = max(len(label) for label in labels)
+    peak = max(values)
+    for label, value in zip(labels, values):
+        if peak > 0 and value > 0:
+            length = max(1, round(width * value / peak))
+        else:
+            length = 0
+        bar = _BAR * length
+        lines.append(f"{label.ljust(label_width)}  "
+                     f"{bar.ljust(width)}  {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def histogram_chart(hist: dict[int, int], width: int = 40,
+                    title: str | None = None,
+                    max_buckets: int = 20) -> str:
+    """Render a value->count histogram as an ASCII bar chart.
+
+    When the histogram has more than ``max_buckets`` distinct values,
+    adjacent values are merged into equal-width ranges.
+    """
+    if not hist:
+        return title or ""
+    values = sorted(hist)
+    if len(values) <= max_buckets:
+        labels = [str(value) for value in values]
+        counts = [float(hist[value]) for value in values]
+    else:
+        lo, hi = values[0], values[-1]
+        span = (hi - lo + 1 + max_buckets - 1) // max_buckets
+        labels = []
+        counts = []
+        for start in range(lo, hi + 1, span):
+            end = min(start + span - 1, hi)
+            labels.append(f"{start}-{end}" if end > start else str(start))
+            counts.append(float(sum(hist.get(v, 0)
+                                    for v in range(start, end + 1))))
+    return bar_chart(labels, counts, width=width, title=title,
+                     fmt="{:.0f}")

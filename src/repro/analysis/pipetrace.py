@@ -1,0 +1,96 @@
+"""Per-cycle front-end pipeline tracing.
+
+Attach a :class:`PipeTracer` to a :class:`~repro.sim.Simulator` to record
+a window of cycles in detail — FTQ/window occupancy, fetch-engine state,
+instructions retired — and render it as a text timeline.  Intended for
+debugging and for teaching how the decoupled front end behaves around
+misses and squashes; tracing every cycle of a long run would be slow and
+unreadable, so the tracer records only ``[start, start + length)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipeTracer", "CycleSnapshot"]
+
+
+@dataclass(frozen=True)
+class CycleSnapshot:
+    """One traced cycle."""
+
+    cycle: int
+    ftq_occupancy: int
+    window_occupancy: int
+    retired_total: int
+    fetch_stalled_on_miss: bool
+    awaiting_resolution: bool
+    in_flight_fills: int
+
+    def flags(self) -> str:
+        flags = []
+        if self.fetch_stalled_on_miss:
+            flags.append("MISS")
+        if self.awaiting_resolution:
+            flags.append("WRONG-PATH")
+        return ",".join(flags)
+
+
+class PipeTracer:
+    """Records :class:`CycleSnapshot` for a window of cycles."""
+
+    def __init__(self, start: int = 1, length: int = 200):
+        if start < 1:
+            raise ValueError("start must be >= 1")
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        self.start = start
+        self.length = length
+        self.snapshots: list[CycleSnapshot] = []
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def record(self, cycle: int, simulator) -> None:
+        """Called by the simulator once per cycle."""
+        if not self.start <= cycle < self.end:
+            return
+        self.snapshots.append(CycleSnapshot(
+            cycle=cycle,
+            ftq_occupancy=simulator.ftq.occupancy(),
+            window_occupancy=simulator.backend.occupancy,
+            retired_total=simulator.backend.retired,
+            fetch_stalled_on_miss=simulator.fetch_engine.stalled_on_miss,
+            awaiting_resolution=simulator.predict_unit.awaiting_resolution,
+            in_flight_fills=len(simulator.memory.mshrs),
+        ))
+
+    def render(self, every: int = 1) -> str:
+        """Text timeline, one line per ``every``-th traced cycle."""
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        lines = [
+            "cycle    ftq  win  fills  retired  flags",
+            "-----    ---  ---  -----  -------  -----",
+        ]
+        previous_retired = None
+        for snap in self.snapshots[::every]:
+            delta = ("" if previous_retired is None
+                     else f" (+{snap.retired_total - previous_retired})")
+            previous_retired = snap.retired_total
+            lines.append(
+                f"{snap.cycle:<8d} {snap.ftq_occupancy:<4d} "
+                f"{snap.window_occupancy:<4d} {snap.in_flight_fills:<6d} "
+                f"{snap.retired_total:<7d}{delta:<6s} {snap.flags()}")
+        return "\n".join(lines)
+
+    def retire_rate(self) -> float:
+        """Mean instructions retired per traced cycle."""
+        if len(self.snapshots) < 2:
+            return 0.0
+        first, last = self.snapshots[0], self.snapshots[-1]
+        cycles = last.cycle - first.cycle
+        if cycles <= 0:
+            return 0.0
+        return (last.retired_total - first.retired_total) / cycles

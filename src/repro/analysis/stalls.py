@@ -1,0 +1,83 @@
+"""Fetch-cycle accounting: where do the front end's cycles go?
+
+The fetch engine bumps exactly one accounting counter per simulated cycle:
+
+- ``active_cycles`` — it delivered instructions (correct or wrong path);
+- ``miss_stall_cycles`` — waiting on an L1-I fill;
+- ``window_stall_cycles`` — backend window full (back-pressure);
+- ``ftq_empty_cycles`` — the prediction unit had produced nothing to
+  fetch (mispredict recovery, or prediction falling behind);
+- ``mshr_stall_cycles`` — a demand miss could not allocate an MSHR.
+
+:func:`stall_breakdown` turns one :class:`SimResult` into normalized
+fractions — the classic "where the cycles went" figure that motivates
+instruction prefetching (miss stalls) and the decoupled front end
+(everything else).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SimResult
+
+__all__ = ["StallBreakdown", "stall_breakdown"]
+
+_CATEGORIES = (
+    ("active", "fetch.active_cycles"),
+    ("icache_miss", "fetch.miss_stall_cycles"),
+    ("window_full", "fetch.window_stall_cycles"),
+    ("ftq_empty", "fetch.ftq_empty_cycles"),
+    ("mshr_full", "fetch.mshr_stall_cycles"),
+)
+
+
+@dataclass(frozen=True)
+class StallBreakdown:
+    """Normalized fetch-cycle accounting for one run."""
+
+    name: str
+    prefetcher: str
+    cycles: int
+    active: float
+    icache_miss: float
+    window_full: float
+    ftq_empty: float
+    mshr_full: float
+    other: float
+
+    def as_row(self) -> list[object]:
+        """Row for a report table (matches :func:`headers`)."""
+        return [self.name, self.prefetcher, self.active,
+                self.icache_miss, self.window_full, self.ftq_empty,
+                self.mshr_full, self.other]
+
+    @staticmethod
+    def headers() -> list[str]:
+        return ["workload", "prefetcher", "active", "icache miss",
+                "window full", "ftq empty", "mshr full", "other"]
+
+
+def stall_breakdown(result: SimResult) -> StallBreakdown:
+    """Classify the run's cycles into fetch-accounting categories.
+
+    Fractions are of total measured cycles; ``other`` absorbs cycles the
+    fetch engine did not attribute (for example cycles consumed while an
+    access was classified but nothing else happened — normally a small
+    residue).
+    """
+    cycles = max(result.cycles, 1)
+    fractions = {}
+    accounted = 0
+    for label, counter in _CATEGORIES:
+        value = result.get(counter)
+        accounted += value
+        fractions[label] = value / cycles
+    other = max(0.0, 1.0 - accounted / cycles)
+    return StallBreakdown(
+        name=result.name,
+        prefetcher=result.prefetcher,
+        cycles=result.cycles,
+        other=other,
+        **fractions,
+    )

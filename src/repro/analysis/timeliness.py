@@ -1,0 +1,83 @@
+"""Prefetch timeliness analysis.
+
+A prefetch only helps if it completes *before* the fetch engine demands
+the block.  The prefetch buffer records, for every useful prefetch, the
+lead time between its fill and its first demand use; demand merges into
+in-flight prefetches (``late prefetches``) are the ones that arrived too
+late to hide the full miss latency.
+
+:func:`timeliness_summary` condenses the recorded distribution into the
+numbers a paper-style table reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SimResult
+
+__all__ = ["TimelinessSummary", "timeliness_summary"]
+
+
+@dataclass(frozen=True)
+class TimelinessSummary:
+    """Condensed prefetch-lead-time distribution for one run."""
+
+    name: str
+    prefetcher: str
+    useful: int
+    late: int
+    mean_lead_cycles: float
+    p50_lead_cycles: int
+    p90_lead_cycles: int
+
+    @property
+    def late_fraction(self) -> float:
+        """Fraction of covered misses that arrived after being demanded."""
+        covered = self.useful + self.late
+        if covered == 0:
+            return 0.0
+        return self.late / covered
+
+    def as_row(self) -> list[object]:
+        return [self.name, self.prefetcher, self.useful, self.late,
+                self.late_fraction, self.mean_lead_cycles,
+                self.p50_lead_cycles, self.p90_lead_cycles]
+
+    @staticmethod
+    def headers() -> list[str]:
+        return ["workload", "prefetcher", "useful", "late", "late frac",
+                "mean lead", "p50 lead", "p90 lead"]
+
+
+def _percentile(hist: dict[int, int], q: float) -> int:
+    total = sum(hist.values())
+    if total == 0:
+        return 0
+    needed = q * total
+    running = 0
+    for value in sorted(hist):
+        running += hist[value]
+        if running >= needed:
+            return value
+    return max(hist)
+
+
+def timeliness_summary(result: SimResult) -> TimelinessSummary:
+    """Summarize a run's prefetch lead-time distribution.
+
+    Runs without a lead histogram (no prefetcher, or a prefetcher whose
+    storage does not record leads) yield an all-zero summary.
+    """
+    hist = result.prefetch_lead_hist
+    total = sum(hist.values())
+    mean = (sum(k * v for k, v in hist.items()) / total) if total else 0.0
+    return TimelinessSummary(
+        name=result.name,
+        prefetcher=result.prefetcher,
+        useful=result.prefetches_useful,
+        late=result.prefetches_late,
+        mean_lead_cycles=mean,
+        p50_lead_cycles=_percentile(hist, 0.5),
+        p90_lead_cycles=_percentile(hist, 0.9),
+    )

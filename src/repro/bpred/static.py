@@ -1,0 +1,33 @@
+"""Static direction predictors (no-learning baselines)."""
+
+from __future__ import annotations
+
+from repro.bpred.base import DirectionPredictor
+
+__all__ = ["AlwaysTakenPredictor", "AlwaysNotTakenPredictor"]
+
+
+class AlwaysTakenPredictor(DirectionPredictor):
+    """Predicts every conditional branch taken."""
+
+    def __init__(self) -> None:
+        super().__init__("always_taken")
+
+    def predict(self, pc: int, history: int) -> bool:
+        return True
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        """Static: nothing to learn."""
+
+
+class AlwaysNotTakenPredictor(DirectionPredictor):
+    """Predicts every conditional branch not taken."""
+
+    def __init__(self) -> None:
+        super().__init__("always_not_taken")
+
+    def predict(self, pc: int, history: int) -> bool:
+        return False
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        """Static: nothing to learn."""

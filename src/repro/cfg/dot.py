@@ -1,0 +1,120 @@
+"""Graphviz DOT export of synthetic programs.
+
+Debugging aid: render a generated control-flow graph (or one function of
+it) to DOT text for inspection with ``dot -Tsvg``.  Block nodes show the
+address range and instruction count; edges are labeled by kind
+(fallthrough, taken, call, return-site).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.cfg.model import BasicBlock, Function, Program
+from repro.isa import InstrKind
+
+__all__ = ["program_to_dot", "function_to_dot"]
+
+
+def _block_id(block: BasicBlock) -> str:
+    return f"b{block.start:x}"
+
+
+def _block_label(block: BasicBlock) -> str:
+    term = block.terminator
+    kind = term.kind.name if term is not None else "fall"
+    return (f"{block.start:#x}..{block.end:#x}\\n"
+            f"{block.n_instrs} instrs, {kind}")
+
+
+def _write_block_edges(out: io.StringIO, block: BasicBlock) -> None:
+    source = _block_id(block)
+    term = block.terminator
+    if term is None:
+        out.write(f'  {source} -> b{block.fallthrough:x} '
+                  f'[label="fall"];\n')
+        return
+    kind = term.kind
+    if kind == InstrKind.BRANCH_COND:
+        out.write(f'  {source} -> b{term.target:x} '
+                  f'[label="taken p={block.taken_bias:.2f}"];\n')
+        out.write(f'  {source} -> b{block.fallthrough:x} '
+                  f'[label="not-taken"];\n')
+    elif kind == InstrKind.JUMP_DIRECT:
+        out.write(f'  {source} -> b{term.target:x} [label="jump"];\n')
+    elif kind == InstrKind.CALL:
+        out.write(f'  {source} -> b{term.target:x} '
+                  f'[label="call" style=dashed];\n')
+        if block.fallthrough is not None:
+            out.write(f'  {source} -> b{block.fallthrough:x} '
+                      f'[label="return-site" style=dotted];\n')
+    elif kind in (InstrKind.CALL_INDIRECT, InstrKind.JUMP_INDIRECT):
+        for target, weight in zip(block.indirect_targets,
+                                  block.indirect_weights):
+            out.write(f'  {source} -> b{target:x} '
+                      f'[label="{weight:.2f}" style=dashed];\n')
+        if kind == InstrKind.CALL_INDIRECT \
+                and block.fallthrough is not None:
+            out.write(f'  {source} -> b{block.fallthrough:x} '
+                      f'[label="return-site" style=dotted];\n')
+    # RETURN has no static successor.
+
+
+def function_to_dot(function: Function, name: str | None = None) -> str:
+    """Render one function as a standalone DOT digraph."""
+    out = io.StringIO()
+    out.write(f'digraph "{name or function.name}" {{\n')
+    out.write('  node [shape=box fontname="monospace"];\n')
+    for block in function.blocks:
+        out.write(f'  {_block_id(block)} '
+                  f'[label="{_block_label(block)}"];\n')
+    for block in function.blocks:
+        _write_block_edges(out, block)
+    out.write("}\n")
+    return out.getvalue()
+
+
+def program_to_dot(program: Program, max_functions: int | None = None,
+                   ) -> str:
+    """Render the whole program, one cluster per function.
+
+    ``max_functions`` truncates the output for large programs (edges to
+    omitted functions still appear, pointing at their entry nodes).
+    """
+    functions = program.functions
+    if max_functions is not None:
+        functions = functions[:max_functions]
+    included_blocks = {block.start
+                       for function in functions
+                       for block in function.blocks}
+    out = io.StringIO()
+    out.write(f'digraph "{program.name}" {{\n')
+    out.write('  node [shape=box fontname="monospace"];\n')
+    for index, function in enumerate(functions):
+        out.write(f"  subgraph cluster_{index} {{\n")
+        out.write(f'    label="{function.name}";\n')
+        for block in function.blocks:
+            out.write(f'    {_block_id(block)} '
+                      f'[label="{_block_label(block)}"];\n')
+        out.write("  }\n")
+    # Emit placeholder nodes for call targets outside the included set.
+    seen_external: set[int] = set()
+    for function in functions:
+        for block in function.blocks:
+            term = block.terminator
+            if term is None:
+                continue
+            targets = list(block.indirect_targets)
+            if term.target is not None:
+                targets.append(term.target)
+            for target in targets:
+                if target not in included_blocks \
+                        and target not in seen_external:
+                    seen_external.add(target)
+                    out.write(f'  b{target:x} [label="{target:#x}" '
+                              f'style=dashed];\n')
+    for function in functions:
+        for block in function.blocks:
+            _write_block_edges(out, block)
+    out.write("}\n")
+    return out.getvalue()

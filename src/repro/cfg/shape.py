@@ -1,0 +1,99 @@
+"""Generation parameters for synthetic programs.
+
+A :class:`ProgramShape` captures the structural knobs that determine how a
+synthetic program stresses an instruction-fetch front end: static footprint,
+branch density and bias, loop behaviour, call-graph shape, and the dispatch
+fan-out that separates "client-like" programs (small, loopy working sets)
+from "server-like" programs (wide dispatch loops over many handlers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["ProgramShape"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class ProgramShape:
+    """Structural parameters of one synthetic program.
+
+    The defaults produce a mid-sized program with SPEC95-era
+    characteristics: a control instruction roughly every 5 instructions,
+    ~2/3 of conditional branches biased, short loops, and a call graph
+    eight levels deep.
+    """
+
+    target_instrs: int = 16384
+    n_functions: int = 64
+    n_levels: int = 8
+    block_body_mean: float = 4.0
+    block_body_max: int = 24
+
+    # Terminator mix for non-final blocks (must sum to <= 1.0; the
+    # remainder of probability mass becomes plain fallthrough blocks).
+    p_cond: float = 0.55
+    p_jump: float = 0.06
+    p_call: float = 0.16
+    p_indirect_jump: float = 0.02
+    p_early_return: float = 0.03
+
+    # Conditional-branch behaviour.
+    p_loop: float = 0.25
+    loop_trip_mean: float = 6.0
+    loop_trip_max: int = 64
+    taken_bias_choices: tuple[float, ...] = (
+        0.02, 0.05, 0.10, 0.30, 0.50, 0.70, 0.90, 0.95, 0.98)
+
+    # Call-graph behaviour.
+    p_call_indirect: float = 0.15
+    call_zipf_s: float = 1.2
+    indirect_fanout: int = 4
+
+    # Dispatch loop in main (models a server event loop).
+    dispatcher_fanout: int = 4
+    dispatcher_zipf_s: float = 0.8
+    dispatcher_trips: int = 4096
+
+    # Body instruction mix (ALU / LOAD / STORE); normalized internally.
+    body_mix: tuple[float, float, float] = (0.60, 0.25, 0.15)
+
+    def __post_init__(self) -> None:
+        _require(self.target_instrs >= 64, "target_instrs must be >= 64")
+        _require(self.n_functions >= 2, "n_functions must be >= 2")
+        _require(2 <= self.n_levels <= self.n_functions,
+                 "n_levels must be in [2, n_functions]")
+        _require(self.block_body_mean >= 1.0, "block_body_mean must be >= 1")
+        _require(self.block_body_max >= 1, "block_body_max must be >= 1")
+        total = (self.p_cond + self.p_jump + self.p_call +
+                 self.p_indirect_jump + self.p_early_return)
+        _require(0.0 < total <= 1.0,
+                 f"terminator probabilities must sum to (0, 1], got {total}")
+        for name in ("p_cond", "p_jump", "p_call", "p_indirect_jump",
+                     "p_early_return", "p_loop", "p_call_indirect"):
+            value = getattr(self, name)
+            _require(0.0 <= value <= 1.0, f"{name} must be in [0, 1]")
+        _require(self.loop_trip_mean >= 1.0, "loop_trip_mean must be >= 1")
+        _require(self.loop_trip_max >= 2, "loop_trip_max must be >= 2")
+        _require(bool(self.taken_bias_choices),
+                 "taken_bias_choices must not be empty")
+        _require(all(0.0 <= b <= 1.0 for b in self.taken_bias_choices),
+                 "taken biases must be in [0, 1]")
+        _require(self.call_zipf_s >= 0.0, "call_zipf_s must be >= 0")
+        _require(self.indirect_fanout >= 1, "indirect_fanout must be >= 1")
+        _require(self.dispatcher_fanout >= 1,
+                 "dispatcher_fanout must be >= 1")
+        _require(self.dispatcher_zipf_s >= 0.0,
+                 "dispatcher_zipf_s must be >= 0")
+        _require(self.dispatcher_trips >= 1, "dispatcher_trips must be >= 1")
+        _require(len(self.body_mix) == 3 and all(w >= 0 for w in
+                                                 self.body_mix)
+                 and sum(self.body_mix) > 0,
+                 "body_mix must be three non-negative weights")

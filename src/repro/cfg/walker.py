@@ -1,0 +1,171 @@
+"""Dynamic execution of a synthetic program: the trace walker.
+
+The walker interprets a :class:`~repro.cfg.model.Program` and emits the
+committed instruction stream as :class:`~repro.trace.records.TraceRecord`
+values.  Execution starts at the program entry; when ``main`` returns the
+walker restarts it, so a walk can produce arbitrarily long traces.
+
+Branch outcomes:
+
+- loop back edges follow their deterministic trip pattern
+  (taken ``trips - 1`` times, then not taken once),
+- other conditional branches are Bernoulli draws with the block's
+  ``taken_bias``,
+- indirect jumps/calls sample their target set by weight,
+- returns pop the walker's call stack.
+
+Everything is seeded, so the same (program, seed) pair always yields the
+identical trace.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cfg.model import BasicBlock, Program
+from repro.errors import SimulationError
+from repro.isa import INSTRUCTION_BYTES, InstrKind
+from repro.trace.records import TraceRecord
+
+__all__ = ["TraceWalker", "MAX_CALL_DEPTH"]
+
+MAX_CALL_DEPTH = 128
+"""Hard cap on dynamic call depth; exceeding it indicates a generator bug."""
+
+
+@dataclass
+class _CompiledBlock:
+    """A basic block pre-flattened for the walker's hot loop."""
+
+    pcs: tuple[int, ...]
+    kinds: tuple[InstrKind, ...]
+    term_target: int | None
+    fallthrough: int | None
+    taken_bias: float
+    loop_trips: int | None
+    indirect_targets: tuple[int, ...]
+    indirect_cumweights: tuple[float, ...]
+
+
+class TraceWalker:
+    """Seeded interpreter producing the committed instruction stream."""
+
+    def __init__(self, program: Program, seed: int = 0):
+        self.program = program
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._blocks = {
+            block.start: self._compile(block)
+            for function in program.functions
+            for block in function.blocks
+        }
+        self._pc = program.entry
+        self._stack: list[int] = []
+        self._loop_counts: dict[int, int] = {}
+
+    @staticmethod
+    def _compile(block: BasicBlock) -> _CompiledBlock:
+        term = block.terminator
+        cumweights: tuple[float, ...] = ()
+        if block.indirect_targets:
+            cumweights = tuple(
+                itertools.accumulate(block.indirect_weights))
+        return _CompiledBlock(
+            pcs=tuple(i.pc for i in block.instrs),
+            kinds=tuple(i.kind for i in block.instrs),
+            term_target=term.target if term is not None else None,
+            fallthrough=block.fallthrough,
+            taken_bias=block.taken_bias,
+            loop_trips=block.loop_trips,
+            indirect_targets=block.indirect_targets,
+            indirect_cumweights=cumweights,
+        )
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Yield committed trace records forever (restarting main)."""
+        rng = self._rng
+        blocks = self._blocks
+        while True:
+            block = blocks.get(self._pc)
+            if block is None or block.pcs[0] != self._pc:
+                raise SimulationError(
+                    f"walker jumped to {self._pc:#x}, which is not a block "
+                    f"start")
+            last = len(block.pcs) - 1
+            for i, (pc, kind) in enumerate(zip(block.pcs, block.kinds)):
+                if not kind.is_control:
+                    yield TraceRecord(pc, kind, False,
+                                      pc + INSTRUCTION_BYTES)
+                    continue
+                if i != last:
+                    raise SimulationError(
+                        f"control instruction mid-block at {pc:#x}")
+                next_pc, taken = self._resolve(block, pc, kind, rng)
+                yield TraceRecord(pc, kind, taken, next_pc)
+                self._pc = next_pc
+                break
+            else:
+                if block.fallthrough is None:
+                    raise SimulationError(
+                        f"block at {block.pcs[0]:#x} fell off the end")
+                self._pc = block.fallthrough
+
+    def walk(self, n: int) -> list[TraceRecord]:
+        """Return the next ``n`` committed records."""
+        return list(itertools.islice(self.records(), n))
+
+    def _resolve(self, block: _CompiledBlock, pc: int, kind: InstrKind,
+                 rng: random.Random) -> tuple[int, bool]:
+        """Compute (next_pc, taken) for the terminator at ``pc``."""
+        sequential = pc + INSTRUCTION_BYTES
+        if kind == InstrKind.BRANCH_COND:
+            taken = self._cond_outcome(block, pc, rng)
+            if taken:
+                return block.term_target, True
+            return sequential, False
+        if kind == InstrKind.JUMP_DIRECT:
+            return block.term_target, True
+        if kind == InstrKind.CALL:
+            self._push(sequential)
+            return block.term_target, True
+        if kind == InstrKind.CALL_INDIRECT:
+            self._push(sequential)
+            return self._pick_indirect(block, rng), True
+        if kind == InstrKind.JUMP_INDIRECT:
+            return self._pick_indirect(block, rng), True
+        if kind == InstrKind.RETURN:
+            if self._stack:
+                return self._stack.pop(), True
+            return self.program.entry, True  # main returned: restart
+        raise SimulationError(f"unhandled control kind {kind!r} at {pc:#x}")
+
+    def _cond_outcome(self, block: _CompiledBlock, pc: int,
+                      rng: random.Random) -> bool:
+        trips = block.loop_trips
+        if trips is not None:
+            count = self._loop_counts.get(pc, 0) + 1
+            if count < trips:
+                self._loop_counts[pc] = count
+                return True
+            self._loop_counts[pc] = 0
+            return False
+        return rng.random() < block.taken_bias
+
+    def _pick_indirect(self, block: _CompiledBlock,
+                       rng: random.Random) -> int:
+        index = bisect.bisect_left(block.indirect_cumweights,
+                                   rng.random() *
+                                   block.indirect_cumweights[-1])
+        index = min(index, len(block.indirect_targets) - 1)
+        return block.indirect_targets[index]
+
+    def _push(self, return_pc: int) -> None:
+        if len(self._stack) >= MAX_CALL_DEPTH:
+            raise SimulationError(
+                f"call depth exceeded {MAX_CALL_DEPTH}; the generator "
+                f"produced an unbounded call chain")
+        self._stack.append(return_pc)

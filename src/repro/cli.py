@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro list                         # workloads + techniques
+    python -m repro characterize -w gcc_like     # trace characterization
+    python -m repro run -w perl_like -p fdip     # one simulation
+    python -m repro experiment E3                # regenerate one table
+    python -m repro calibrate                    # workload band checks
+    python -m repro report -o report.md          # all experiments -> md
+
+Every subcommand accepts ``--length`` (trace length) and ``--seed``.
+``run`` prints a metrics table, or JSON with ``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.config import FilterMode, PrefetcherKind, SimConfig
+from repro.errors import ReproError
+from repro.harness import EXPERIMENTS, Runner, technique_config
+from repro.harness.report import generate_report
+from repro.sim import run_simulation
+from repro.stats import format_table
+from repro.trace import characterize
+from repro.workloads import ALL_WORKLOADS, build_trace, get_profile
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fetch Directed Instruction Prefetching (MICRO-32 "
+                    "1999) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--length", type=int, default=60_000,
+                       help="trace length in instructions")
+        p.add_argument("--seed", type=int, default=1,
+                       help="trace walk seed")
+
+    sub.add_parser("list", help="list workloads and techniques")
+
+    p_char = sub.add_parser("characterize",
+                            help="characterize a workload trace")
+    p_char.add_argument("-w", "--workload", required=True,
+                        choices=ALL_WORKLOADS)
+    common(p_char)
+
+    p_run = sub.add_parser("run", help="run one simulation")
+    p_run.add_argument("-w", "--workload", required=True,
+                       choices=ALL_WORKLOADS)
+    p_run.add_argument("-p", "--prefetcher", default=PrefetcherKind.FDIP,
+                       choices=PrefetcherKind.ALL)
+    p_run.add_argument("-f", "--filter", default=FilterMode.ENQUEUE,
+                       choices=FilterMode.ALL,
+                       help="cache probe filtering mode (fdip only)")
+    p_run.add_argument("--warmup", type=int, default=0)
+    p_run.add_argument("--json", action="store_true",
+                       help="emit metrics as JSON")
+    common(p_run)
+
+    p_exp = sub.add_parser("experiment", help="regenerate one experiment")
+    p_exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS),
+                       metavar="EXPERIMENT",
+                       help=f"one of {', '.join(sorted(EXPERIMENTS))}")
+    common(p_exp)
+
+    p_cal = sub.add_parser("calibrate",
+                           help="check workload profiles against their "
+                                "calibration bands")
+    p_cal.add_argument("-w", "--workload", default=None,
+                       choices=ALL_WORKLOADS,
+                       help="one profile (default: the whole suite)")
+    common(p_cal)
+
+    p_rep = sub.add_parser("report",
+                           help="run every experiment, emit markdown")
+    p_rep.add_argument("-o", "--output", default="-",
+                       help="output file ('-' for stdout)")
+    p_rep.add_argument("--experiments", nargs="*", default=None,
+                       help="subset of experiment ids (default: all)")
+    common(p_rep)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name in ALL_WORKLOADS:
+        profile = get_profile(name)
+        print(f"  {name:16s} [{profile.category}] {profile.description}")
+    print("\nprefetchers:", ", ".join(PrefetcherKind.ALL))
+    print("filter modes (fdip):", ", ".join(FilterMode.ALL))
+    print("experiments:", ", ".join(sorted(
+        EXPERIMENTS, key=lambda e: int(e[1:]))))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    trace = build_trace(args.workload, args.length, seed=args.seed)
+    stats = characterize(trace)
+    rows = [
+        ["records", stats.n_records],
+        ["distinct pcs", stats.distinct_pcs],
+        ["footprint KB", stats.footprint_kb],
+        ["distinct 32B blocks", stats.distinct_blocks],
+        ["control fraction", stats.control_fraction],
+        ["taken fraction", stats.taken_fraction],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.workload} ({args.length} instrs)"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = build_trace(args.workload, args.length, seed=args.seed)
+    config = SimConfig()
+    config = technique_config(_technique_name(args), config)
+    if args.warmup:
+        config = config.replace(warmup_instructions=args.warmup)
+    result = run_simulation(trace, config)
+    if args.json:
+        payload = {
+            "workload": result.name,
+            "prefetcher": result.prefetcher,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "ipc": result.ipc,
+            "l1i_mpki": result.l1i_mpki,
+            "bus_utilization": result.bus_utilization,
+            "prefetches_issued": result.prefetches_issued,
+            "prefetch_accuracy": result.prefetch_accuracy,
+            "prefetch_coverage": result.prefetch_coverage,
+            "mispredicts_per_ki": result.mispredicts_per_ki,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        ["IPC", result.ipc],
+        ["cycles", result.cycles],
+        ["L1-I MPKI", result.l1i_mpki],
+        ["bus utilization", result.bus_utilization],
+        ["prefetches issued", result.prefetches_issued],
+        ["prefetch accuracy", result.prefetch_accuracy],
+        ["prefetch coverage", result.prefetch_coverage],
+        ["mispredicts / ki", result.mispredicts_per_ki],
+        ["bpred accuracy", result.bpred_accuracy],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.workload} / {_technique_name(args)}"))
+    return 0
+
+
+def _technique_name(args: argparse.Namespace) -> str:
+    if args.prefetcher != PrefetcherKind.FDIP:
+        return args.prefetcher
+    suffix = "nofilter" if args.filter == FilterMode.NONE else args.filter
+    return f"fdip_{suffix}"
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = Runner(trace_length=args.length, seed=args.seed)
+    table = EXPERIMENTS[args.experiment_id](runner)
+    print(table.formatted())
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.workloads import calibrate, calibrate_suite
+    if args.workload:
+        reports = [calibrate(args.workload, args.length, args.seed)]
+    else:
+        reports = calibrate_suite(args.length, args.seed)
+    rows = [[r.name, "ok" if r.ok else "FAIL", r.dyn_footprint_kb,
+             r.control_fraction, r.taken_fraction, r.base_mpki,
+             "; ".join(r.failures)] for r in reports]
+    print(format_table(
+        ["workload", "status", "dyn KB", "ctrl", "taken", "mpki",
+         "failures"], rows,
+        title=f"calibration at {args.length} instructions"))
+    return 0 if all(r.ok for r in reports) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    runner = Runner(trace_length=args.length, seed=args.seed)
+    text = generate_report(runner, experiment_ids=args.experiments)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as out:
+            out.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "characterize":
+            return _cmd_characterize(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "calibrate":
+            return _cmd_calibrate(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,5 @@
+"""Simplified out-of-order core backend."""
+
+from repro.cpu.backend import Backend
+
+__all__ = ["Backend"]

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent with another value."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace stream is malformed or exhausted unexpectedly."""
+
+
+class GenerationError(ReproError):
+    """The synthetic program generator was given unsatisfiable parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state.
+
+    This always indicates a bug in the simulator (or a hand-built component
+    wired incorrectly), never a property of the simulated workload.
+    """

@@ -1,0 +1,12 @@
+"""The decoupled front end: FTQ, prediction unit, fetch engine."""
+
+from repro.frontend.fetch_engine import FetchEngine
+from repro.frontend.ftq import FetchTargetQueue, FTQEntry
+from repro.frontend.predict_unit import PredictUnit
+
+__all__ = [
+    "FetchTargetQueue",
+    "FTQEntry",
+    "PredictUnit",
+    "FetchEngine",
+]

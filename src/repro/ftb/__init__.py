@@ -1,0 +1,16 @@
+"""Fetch target buffer (fetch-block BTB) and a conventional BTB."""
+
+from repro.ftb.btb import BranchTargetBuffer, BTBEntry
+from repro.ftb.ftb import FetchTargetBuffer, FTBEntry
+from repro.ftb.multilevel import HIT, L2, MISS, TwoLevelFTB
+
+__all__ = [
+    "FetchTargetBuffer",
+    "FTBEntry",
+    "TwoLevelFTB",
+    "HIT",
+    "L2",
+    "MISS",
+    "BranchTargetBuffer",
+    "BTBEntry",
+]

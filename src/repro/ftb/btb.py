@@ -1,0 +1,76 @@
+"""Conventional (instruction-indexed) branch target buffer.
+
+Not used by the FDIP front end itself — the decoupled front end uses the
+fetch-block-oriented :class:`~repro.ftb.ftb.FetchTargetBuffer` — but
+provided as the comparison structure: indexed by the *branch instruction's*
+address, a hit says "this instruction is a branch" and supplies its type
+and most recent target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import is_power_of_two
+from repro.errors import ConfigError
+from repro.isa import INSTRUCTION_BYTES, InstrKind
+from repro.stats import StatGroup
+
+__all__ = ["BTBEntry", "BranchTargetBuffer"]
+
+
+@dataclass
+class BTBEntry:
+    """One tracked branch: its address, type, and last target."""
+
+    pc: int
+    target: int | None
+    kind: InstrKind
+
+
+class BranchTargetBuffer:
+    """Set-associative, LRU BTB keyed by branch instruction address."""
+
+    def __init__(self, sets: int = 512, ways: int = 4):
+        if not is_power_of_two(sets):
+            raise ConfigError("BTB sets must be a power of two")
+        if ways < 1:
+            raise ConfigError("BTB ways must be >= 1")
+        self.sets = sets
+        self.ways = ways
+        self.stats = StatGroup("btb")
+        self._table: list[dict[int, BTBEntry]] = [{} for _ in range(sets)]
+
+    @property
+    def capacity(self) -> int:
+        return self.sets * self.ways
+
+    def _set_for(self, pc: int) -> dict[int, BTBEntry]:
+        return self._table[(pc // INSTRUCTION_BYTES) & (self.sets - 1)]
+
+    def lookup(self, pc: int) -> BTBEntry | None:
+        entry_set = self._set_for(pc)
+        entry = entry_set.get(pc)
+        if entry is None:
+            self.stats.bump("misses")
+            return None
+        del entry_set[pc]
+        entry_set[pc] = entry
+        self.stats.bump("hits")
+        return entry
+
+    def install(self, entry: BTBEntry) -> None:
+        entry_set = self._set_for(entry.pc)
+        if entry.pc in entry_set:
+            del entry_set[entry.pc]
+            self.stats.bump("updates")
+        else:
+            self.stats.bump("installs")
+            if len(entry_set) >= self.ways:
+                oldest = next(iter(entry_set))
+                del entry_set[oldest]
+                self.stats.bump("evictions")
+        entry_set[entry.pc] = entry
+
+    def resident_entries(self) -> int:
+        return sum(len(entry_set) for entry_set in self._table)

@@ -1,0 +1,32 @@
+"""Experiment harness: techniques, runners, reports, and the E1..E22 registry."""
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentTable,
+    run_experiment,
+)
+from repro.harness.parallel import SweepPoint, parallel_sweep
+from repro.harness.persist import ResultStore
+from repro.harness.report import generate_report
+from repro.harness.runner import Runner, default_trace_length, geomean
+from repro.harness.techniques import (
+    TECHNIQUE_ORDER,
+    TECHNIQUES,
+    technique_config,
+)
+
+__all__ = [
+    "Runner",
+    "parallel_sweep",
+    "SweepPoint",
+    "ResultStore",
+    "generate_report",
+    "default_trace_length",
+    "geomean",
+    "TECHNIQUES",
+    "TECHNIQUE_ORDER",
+    "technique_config",
+    "EXPERIMENTS",
+    "ExperimentTable",
+    "run_experiment",
+]

@@ -1,0 +1,54 @@
+"""Multiprocess sweep execution.
+
+Full-length sweeps (``REPRO_FULL=1``) are embarrassingly parallel across
+(workload, configuration) points.  :func:`parallel_sweep` fans the points
+out over a process pool; each worker builds (or loads from the shared
+on-disk cache) its own trace and returns the :class:`SimResult`, which is
+picklable by construction (plain dataclass of ints/floats/dicts).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.config import SimConfig
+from repro.sim import SimResult, run_simulation
+from repro.workloads import build_trace
+
+__all__ = ["parallel_sweep", "SweepPoint"]
+
+SweepPoint = tuple[str, SimConfig]
+
+
+def _run_point(point: SweepPoint, trace_length: int,
+               seed: int, warmup: int) -> SimResult:
+    """Worker: simulate one (workload, config) point."""
+    workload, config = point
+    if warmup and config.warmup_instructions == 0:
+        config = config.replace(warmup_instructions=warmup)
+    trace = build_trace(workload, trace_length, seed=seed)
+    return run_simulation(trace, config, name=workload)
+
+
+def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
+                   seed: int = 1, warmup: int | None = None,
+                   processes: int | None = None,
+                   ) -> dict[SweepPoint, SimResult]:
+    """Run every (workload, config) point, fanned across processes.
+
+    With ``processes=1`` (or a single point) everything runs inline —
+    useful for tests and debugging.  Returns a dict keyed by the input
+    points.  Duplicate points are simulated once.
+    """
+    if warmup is None:
+        warmup = trace_length // 5
+    unique = list(dict.fromkeys(points))
+    if processes == 1 or len(unique) <= 1:
+        results = [_run_point(p, trace_length, seed, warmup)
+                   for p in unique]
+    else:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            futures = [pool.submit(_run_point, p, trace_length, seed,
+                                   warmup) for p in unique]
+            results = [f.result() for f in futures]
+    return dict(zip(unique, results))

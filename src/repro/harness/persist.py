@@ -1,0 +1,68 @@
+"""Persistent simulation-result cache.
+
+Long (``REPRO_FULL=1``) sweeps are expensive; this store keeps each
+:class:`SimResult` on disk keyed by everything that determines it — the
+workload/trace identity, the full configuration, and the package version
+(so any model change invalidates old results).
+
+Enable it for the benchmark suite by setting ``REPRO_RESULT_CACHE`` to a
+directory path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import repro
+from repro.config import SimConfig
+from repro.sim import SimResult
+from repro.sim.serialize import result_from_json, result_to_json
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Directory-backed map from run identity to SimResult."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    def _key(self, workload: str, config: SimConfig, trace_length: int,
+             seed: int) -> str:
+        identity = (f"v{repro.__version__}|{workload}|{trace_length}"
+                    f"|{seed}|{config!r}")
+        return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:32]
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.result.json"
+
+    def load(self, workload: str, config: SimConfig, trace_length: int,
+             seed: int) -> SimResult | None:
+        """Return a stored result or None; corrupt files are ignored."""
+        path = self._path(self._key(workload, config, trace_length, seed))
+        if not path.exists():
+            return None
+        try:
+            return result_from_json(path.read_text(encoding="utf-8"))
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, workload: str, config: SimConfig, trace_length: int,
+              seed: int, result: SimResult) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(self._key(workload, config, trace_length, seed))
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(result_to_json(result), encoding="utf-8")
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete all stored results; returns the number removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.result.json"):
+            path.unlink()
+            removed += 1
+        return removed

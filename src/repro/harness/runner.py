@@ -1,0 +1,115 @@
+"""Experiment runner with in-process result memoization.
+
+The twelve experiments share many (workload, configuration) simulation
+runs; this runner keys every run by its exact inputs so an experiment
+that re-requests an already-simulated point pays nothing.  Traces are
+cached on disk (see :class:`~repro.trace.cache.TraceCache`), simulation
+results in memory.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from repro.config import SimConfig
+from repro.sim import SimResult, run_simulation
+from repro.trace import Trace
+from repro.workloads import build_trace
+
+__all__ = ["Runner", "default_trace_length", "geomean"]
+
+_QUICK_LENGTH = 60_000
+_FULL_LENGTH = 400_000
+
+
+def default_trace_length() -> int:
+    """Trace length for experiments.
+
+    ``REPRO_TRACE_LEN`` overrides exactly; ``REPRO_FULL=1`` selects the
+    long configuration; the default keeps a full experiment sweep in the
+    minutes range on a laptop.
+    """
+    override = os.environ.get("REPRO_TRACE_LEN")
+    if override:
+        return max(1000, int(override))
+    if os.environ.get("REPRO_FULL") == "1":
+        return _FULL_LENGTH
+    return _QUICK_LENGTH
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class Runner:
+    """Runs (workload, config) points with memoization."""
+
+    def __init__(self, trace_length: int | None = None, seed: int = 1,
+                 warmup_fraction: float = 0.2,
+                 persist_dir: str | None = None):
+        self.trace_length = trace_length or default_trace_length()
+        self.seed = seed
+        self.warmup_fraction = warmup_fraction
+        self._traces: dict[str, Trace] = {}
+        self._results: dict[tuple[str, SimConfig], SimResult] = {}
+        if persist_dir is None:
+            persist_dir = os.environ.get("REPRO_RESULT_CACHE")
+        self._store = None
+        if persist_dir:
+            from repro.harness.persist import ResultStore
+            self._store = ResultStore(persist_dir)
+
+    def trace(self, workload: str) -> Trace:
+        trace = self._traces.get(workload)
+        if trace is None:
+            trace = build_trace(workload, self.trace_length, seed=self.seed)
+            self._traces[workload] = trace
+        return trace
+
+    def run(self, workload: str, config: SimConfig) -> SimResult:
+        """Simulate ``workload`` under ``config`` (memoized)."""
+        if config.warmup_instructions == 0 and self.warmup_fraction > 0:
+            warmup = int(self.trace_length * self.warmup_fraction)
+            config = config.replace(warmup_instructions=warmup)
+        key = (workload, config)
+        result = self._results.get(key)
+        if result is None and self._store is not None:
+            result = self._store.load(workload, config,
+                                      self.trace_length, self.seed)
+            if result is not None:
+                self._results[key] = result
+        if result is None:
+            result = run_simulation(self.trace(workload), config,
+                                    name=workload)
+            self._results[key] = result
+            if self._store is not None:
+                self._store.store(workload, config, self.trace_length,
+                                  self.seed, result)
+        return result
+
+    def with_seed(self, seed: int) -> "Runner":
+        """A runner over the same lengths/persistence but another seed.
+
+        Child runners share nothing in memory (different traces), but do
+        share the on-disk trace/result caches.
+        """
+        child = Runner(trace_length=self.trace_length, seed=seed,
+                       warmup_fraction=self.warmup_fraction)
+        child._store = self._store
+        return child
+
+    def speedup(self, workload: str, config: SimConfig,
+                baseline: SimConfig) -> float:
+        """IPC ratio of ``config`` over ``baseline`` on ``workload``."""
+        return self.run(workload, config).speedup_over(
+            self.run(workload, baseline))
+
+    @property
+    def runs_performed(self) -> int:
+        return len(self._results)

@@ -1,0 +1,55 @@
+"""The prefetching techniques the evaluation compares.
+
+Each technique is a named transformation of a base :class:`SimConfig`,
+so sweeps can vary machine parameters (cache size, FTQ depth, latency)
+orthogonally to the prefetching technique.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import FilterMode, PrefetcherKind, SimConfig
+from repro.errors import ConfigError
+
+__all__ = ["TECHNIQUES", "TECHNIQUE_ORDER", "technique_config"]
+
+TECHNIQUE_ORDER: tuple[str, ...] = (
+    "none",
+    "nlp",
+    "stream",
+    "fdip_nofilter",
+    "fdip_enqueue",
+    "fdip_remove",
+    "fdip_ideal",
+    "fdip_nlp",
+)
+
+TECHNIQUES: dict[str, dict[str, str]] = {
+    "none": {"kind": PrefetcherKind.NONE},
+    "nlp": {"kind": PrefetcherKind.NLP},
+    "stream": {"kind": PrefetcherKind.STREAM},
+    "fdip_nofilter": {"kind": PrefetcherKind.FDIP,
+                      "filter_mode": FilterMode.NONE},
+    "fdip_enqueue": {"kind": PrefetcherKind.FDIP,
+                     "filter_mode": FilterMode.ENQUEUE},
+    "fdip_remove": {"kind": PrefetcherKind.FDIP,
+                    "filter_mode": FilterMode.REMOVE},
+    "fdip_ideal": {"kind": PrefetcherKind.FDIP,
+                   "filter_mode": FilterMode.IDEAL},
+    "fdip_nlp": {"kind": PrefetcherKind.COMBINED,
+                 "filter_mode": FilterMode.ENQUEUE},
+}
+
+
+def technique_config(technique: str,
+                     base: SimConfig | None = None) -> SimConfig:
+    """A :class:`SimConfig` for ``technique`` derived from ``base``."""
+    if technique not in TECHNIQUES:
+        raise ConfigError(
+            f"unknown technique {technique!r}; available: "
+            f"{', '.join(TECHNIQUE_ORDER)}")
+    if base is None:
+        base = SimConfig()
+    prefetch = dataclasses.replace(base.prefetch, **TECHNIQUES[technique])
+    return base.replace(prefetch=prefetch)

@@ -1,0 +1,5 @@
+"""Synthetic ISA: instruction kinds and the static instruction model."""
+
+from repro.isa.instructions import INSTRUCTION_BYTES, InstrKind, StaticInstr
+
+__all__ = ["INSTRUCTION_BYTES", "InstrKind", "StaticInstr"]

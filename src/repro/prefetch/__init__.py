@@ -1,0 +1,18 @@
+"""Instruction prefetchers: FDIP and the paper's baselines."""
+
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.combined import CombinedPrefetcher
+from repro.prefetch.fdip import FdipPrefetcher, PrefetchBufferSidecar
+from repro.prefetch.nlp import NlpPrefetcher
+from repro.prefetch.none import NonePrefetcher
+from repro.prefetch.stream import StreamBufferPrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "CombinedPrefetcher",
+    "NonePrefetcher",
+    "NlpPrefetcher",
+    "StreamBufferPrefetcher",
+    "FdipPrefetcher",
+    "PrefetchBufferSidecar",
+]

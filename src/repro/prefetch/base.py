@@ -1,0 +1,55 @@
+"""Prefetcher interface.
+
+A prefetcher plugs into the simulator at three points:
+
+- ``sidecar`` — its storage (prefetch buffer or stream buffers), probed by
+  the memory system in parallel with the L1-I on every demand access;
+- :meth:`on_demand` — feedback about each demand access (next-line and
+  stream-buffer prefetchers are demand driven);
+- :meth:`tick` — a once-per-cycle opportunity to scan the FTQ and issue
+  prefetches (FDIP), or to drain internal request queues.
+
+:meth:`squash` is called on every pipeline flush.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.frontend.ftq import FetchTargetQueue
+from repro.memory.hierarchy import MemorySystem, Sidecar
+from repro.stats import StatGroup
+
+__all__ = ["Prefetcher"]
+
+
+class Prefetcher(ABC):
+    """Base class of all instruction prefetchers."""
+
+    def __init__(self, name: str, memory: MemorySystem):
+        self.name = name
+        self.memory = memory
+        self.stats = StatGroup(name)
+
+    @property
+    @abstractmethod
+    def sidecar(self) -> Sidecar | None:
+        """Storage probed alongside the L1-I (None when there is none)."""
+
+    @abstractmethod
+    def tick(self, now: int, ftq: FetchTargetQueue) -> None:
+        """Issue this cycle's prefetch work."""
+
+    def on_demand(self, bid: int, outcome: str, now: int) -> None:
+        """Feedback for one demand access (default: ignore)."""
+
+    def squash(self) -> None:
+        """Pipeline flush notification (default: nothing to drop)."""
+
+    def extra_stat_groups(self) -> list[StatGroup]:
+        """Stat groups owned by this prefetcher (buffers etc.)."""
+        return [self.stats]
+
+    def lead_histogram(self) -> dict[int, int]:
+        """Prefetch lead-time distribution (empty when not recorded)."""
+        return {}

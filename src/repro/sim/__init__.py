@@ -1,0 +1,29 @@
+"""Simulator wiring and results."""
+
+from repro.sim.invariants import (
+    InvariantViolation,
+    assert_invariants,
+    check_invariants,
+)
+from repro.sim.results import SimResult
+from repro.sim.serialize import (
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.sim.simulator import Simulator, make_prefetcher, run_simulation
+
+__all__ = [
+    "Simulator",
+    "SimResult",
+    "make_prefetcher",
+    "run_simulation",
+    "check_invariants",
+    "assert_invariants",
+    "InvariantViolation",
+    "result_to_dict",
+    "result_from_dict",
+    "result_to_json",
+    "result_from_json",
+]

@@ -1,0 +1,119 @@
+"""Post-run consistency checking.
+
+:func:`check_invariants` cross-validates a finished run's counters: the
+relationships below must hold for *any* workload and configuration (they
+are structural properties of the simulator, not of the modeled machine).
+The test suite runs them after every end-to-end simulation; users can run
+them after their own experiments as a cheap sanity guard when modifying
+the simulator.
+
+Warm-up complicates a few relationships (statistics reset mid-run while
+structures stay warm), so each check documents whether it tolerates
+warm-up.
+"""
+
+from __future__ import annotations
+
+from repro.sim.results import SimResult
+
+__all__ = ["check_invariants", "InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """A structural counter relationship failed."""
+
+
+def _check(condition: bool, message: str,
+           violations: list[str]) -> None:
+    if not condition:
+        violations.append(message)
+
+
+def check_invariants(result: SimResult,
+                     warmed_up: bool = False) -> list[str]:
+    """Return a list of violated invariants (empty = consistent).
+
+    ``warmed_up`` must be True when the run used warm-up, which relaxes
+    the relationships that statistics resets break.
+    """
+    violations: list[str] = []
+    get = result.get
+
+    # Retirement and delivery.
+    _check(get("backend.retired") == result.instructions,
+           "retired != measured instructions", violations)
+    _check(get("fetch.instrs_delivered") == get("backend.delivered"),
+           "fetch and backend disagree on deliveries", violations)
+    if warmed_up:
+        # Instructions delivered before the statistics reset retire
+        # after it; the discrepancy is bounded by the window size.
+        _check(get("backend.retired") - get("backend.delivered") <= 1024,
+               "retired exceeds delivered beyond any window size",
+               violations)
+    else:
+        _check(get("backend.delivered") >= get("backend.retired"),
+               "retired more than delivered", violations)
+
+    # Mispredict / squash / resolution bookkeeping.
+    _check(get("predict.mispredicts") == get("predict.resolutions"),
+           "unresolved mispredicts at end of run", violations)
+    _check(get("sim.squashes") == get("predict.resolutions"),
+           "squash count != resolution count", violations)
+
+    # Memory-system conservation.
+    _check(get("mem.demand_misses") <= get("mem.demand_accesses"),
+           "more demand misses than accesses", violations)
+    _check(get("l1i.evictions") <= get("l1i.fills"),
+           "L1-I evicted more blocks than it filled", violations)
+    _check(get("l2.evictions") <= get("l2.fills"),
+           "L2 evicted more blocks than it filled", violations)
+    _check(get("mshr.demand_merges") >= get("mshr.late_prefetch_merges"),
+           "late-prefetch merges exceed total merges", violations)
+
+    # Bus accounting: transfers all have equal occupancy, so the busy
+    # cycle total must divide evenly among them.
+    transfers = (get("bus.demand_transfers")
+                 + get("bus.prefetch_transfers"))
+    busy = get("bus.busy_cycles")
+    if transfers == 0:
+        _check(busy == 0, "bus busy with zero transfers", violations)
+    else:
+        _check(busy % transfers == 0,
+               "bus busy cycles not a multiple of transfers", violations)
+    _check(0.0 <= result.bus_utilization <= 1.0,
+           "bus utilization out of [0, 1]", violations)
+
+    # Prefetch accounting (exact only without warm-up resets).
+    if not warmed_up:
+        _check(result.prefetches_useful <= result.prefetches_issued,
+               "more useful prefetches than issued", violations)
+        _check(get("pbuf.evicted_unused") + get("pbuf.useful_hits")
+               <= get("pbuf.fills") + get("pbuf.duplicate_fills") + 64,
+               "prefetch buffer conservation failed", violations)
+
+    # RAS conservation.
+    _check(get("ras.pops") <= get("ras.pushes")
+           + get("ras.underflows") + get("ras.restores") * 64,
+           "RAS popped far more than pushed", violations)
+
+    # FTQ conservation: every push is popped or squashed (the FTQ is
+    # empty at end of run except for trailing unfetched blocks).  With
+    # warm-up, entries pushed before the reset pop after it, so the
+    # imbalance is bounded by the queue depth instead.
+    imbalance = (get("ftq.pops") + get("ftq.squashed_entries")
+                 - get("ftq.pushes"))
+    if warmed_up:
+        _check(imbalance <= 256,
+               "FTQ imbalance beyond any queue depth", violations)
+    else:
+        _check(imbalance <= 0,
+               "FTQ popped/squashed more than pushed", violations)
+
+    return violations
+
+
+def assert_invariants(result: SimResult, warmed_up: bool = False) -> None:
+    """Raise :class:`InvariantViolation` on the first failure."""
+    violations = check_invariants(result, warmed_up=warmed_up)
+    if violations:
+        raise InvariantViolation("; ".join(violations))

@@ -1,0 +1,117 @@
+"""Simulation results: derived metrics over the raw counter namespace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimResult"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run.
+
+    ``counters`` holds the full flat counter namespace
+    (``group.counter`` -> value) for anything not surfaced as a field.
+    """
+
+    name: str
+    prefetcher: str
+    cycles: int
+    instructions: int
+    # Front end
+    mispredicts: int
+    bpred_accuracy: float
+    ftq_mean_occupancy: float
+    # Memory
+    demand_misses: int
+    demand_merges: int
+    bus_utilization: float
+    l2_misses: int
+    # Prefetching
+    prefetches_issued: int
+    prefetches_useful: int
+    prefetches_late: int
+    counters: dict[str, int] = field(default_factory=dict)
+    # Distributions (value -> count), for the characterization experiments.
+    ftq_occupancy_hist: dict[int, int] = field(default_factory=dict)
+    fetch_block_hist: dict[int, int] = field(default_factory=dict)
+    # Prefetch lead times (fill -> first use), for timeliness analysis.
+    prefetch_lead_hist: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def l1i_mpki(self) -> float:
+        """Demand misses (including merges) per kilo-instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * (self.demand_misses + self.demand_merges) \
+            / self.instructions
+
+    @property
+    def mispredicts_per_ki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.mispredicts / self.instructions
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Useful prefetches / issued prefetches."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.prefetches_useful / self.prefetches_issued
+
+    @property
+    def prefetch_coverage(self) -> float:
+        """Fraction of would-be misses covered by prefetching.
+
+        Late prefetches (demand merged into an in-flight prefetch) count
+        as covered-but-late; they are excluded here and reported
+        separately.
+        """
+        would_miss = self.prefetches_useful + self.demand_misses \
+            + self.demand_merges
+        if would_miss == 0:
+            return 0.0
+        return self.prefetches_useful / would_miss
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """IPC speedup of this run relative to ``baseline``."""
+        if baseline.ipc == 0.0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def get(self, counter: str) -> int:
+        """Raw counter lookup (0 when absent)."""
+        return self.counters.get(counter, 0)
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary of the headline metrics."""
+        lines = [
+            f"{self.name} / {self.prefetcher}",
+            f"  IPC {self.ipc:.3f} over {self.cycles} cycles "
+            f"({self.instructions} instructions)",
+            f"  L1-I MPKI {self.l1i_mpki:.2f} "
+            f"({self.demand_misses} misses, {self.demand_merges} merges)",
+            f"  bus utilization {self.bus_utilization:.1%}",
+            f"  mispredicts/ki {self.mispredicts_per_ki:.2f} "
+            f"(bpred accuracy {self.bpred_accuracy:.1%})",
+        ]
+        if self.prefetches_issued:
+            lines.append(
+                f"  prefetches {self.prefetches_issued} issued, "
+                f"{self.prefetches_useful} useful "
+                f"({self.prefetch_accuracy:.1%} accuracy, "
+                f"{self.prefetch_coverage:.1%} coverage, "
+                f"{self.prefetches_late} late)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"SimResult({self.name!r}, {self.prefetcher}, "
+                f"ipc={self.ipc:.3f}, mpki={self.l1i_mpki:.2f}, "
+                f"bus={self.bus_utilization:.2%})")

@@ -1,0 +1,52 @@
+"""SimResult (de)serialization.
+
+Used by the persistent result cache and by users exporting runs.  JSON
+object keys for the histogram fields are stringified integers (JSON has
+no int keys); round-tripping restores them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.errors import ReproError
+from repro.sim.results import SimResult
+
+__all__ = ["result_to_dict", "result_from_dict", "result_to_json",
+           "result_from_json"]
+
+_INT_KEY_FIELDS = ("ftq_occupancy_hist", "fetch_block_hist",
+                   "prefetch_lead_hist")
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """Plain-dict form of a result (JSON compatible)."""
+    payload = dataclasses.asdict(result)
+    for field in _INT_KEY_FIELDS:
+        payload[field] = {str(k): v for k, v in payload[field].items()}
+    return payload
+
+
+def result_from_dict(payload: dict) -> SimResult:
+    """Inverse of :func:`result_to_dict`."""
+    data = dict(payload)
+    try:
+        for field in _INT_KEY_FIELDS:
+            data[field] = {int(k): v for k, v in data.get(field,
+                                                          {}).items()}
+        return SimResult(**data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed serialized SimResult: {exc}") from exc
+
+
+def result_to_json(result: SimResult) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def result_from_json(text: str) -> SimResult:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed result JSON: {exc}") from exc
+    return result_from_dict(payload)

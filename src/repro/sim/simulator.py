@@ -1,0 +1,285 @@
+"""The cycle-level simulator: wires the front end, memory, and backend.
+
+Per-cycle schedule (one iteration of :meth:`Simulator.run`):
+
+1. memory: complete fills due this cycle, reset the tag-port budget;
+2. backend: retire completed instructions (frees window slots);
+3. resolution: if the pending mispredicted branch resolves this cycle,
+   squash (FTQ, PIQ, in-progress fetch) and redirect the prediction unit;
+4. fetch engine: one demand access, deliver instructions;
+5. prediction unit: produce one fetch block into the FTQ;
+6. prefetch engine: scan/filter/issue.
+
+The run ends when every trace record has retired.  ``warmup_instructions``
+resets all statistics once that many instructions have retired, so reported
+numbers cover only the measured region (caches, predictors, and the FTB
+stay warm).
+"""
+
+from __future__ import annotations
+
+from repro.bpred import ReturnAddressStack, make_direction_predictor
+from repro.config import PrefetcherKind, SimConfig
+from repro.cpu import Backend
+from repro.errors import SimulationError
+from repro.frontend import FetchEngine, FetchTargetQueue, FTQEntry, \
+    PredictUnit
+from repro.ftb import FetchTargetBuffer, TwoLevelFTB
+from repro.memory import MemorySystem
+from repro.prefetch import (
+    CombinedPrefetcher,
+    FdipPrefetcher,
+    NlpPrefetcher,
+    NonePrefetcher,
+    Prefetcher,
+    StreamBufferPrefetcher,
+)
+from repro.sim.results import SimResult
+from repro.stats import StatGroup
+from repro.trace import Trace
+
+__all__ = ["Simulator", "make_prefetcher", "run_simulation"]
+
+_DEFAULT_CYCLE_CAP_PER_INSTR = 200
+
+
+def make_prefetcher(config: SimConfig, memory: MemorySystem) -> Prefetcher:
+    """Instantiate the prefetcher selected by ``config.prefetch.kind``."""
+    kind = config.prefetch.kind
+    if kind == PrefetcherKind.NONE:
+        return NonePrefetcher(memory)
+    if kind == PrefetcherKind.NLP:
+        return NlpPrefetcher(memory, config.prefetch)
+    if kind == PrefetcherKind.STREAM:
+        return StreamBufferPrefetcher(memory, config.prefetch)
+    if kind == PrefetcherKind.FDIP:
+        return FdipPrefetcher(memory, config.prefetch)
+    if kind == PrefetcherKind.COMBINED:
+        return CombinedPrefetcher(memory, config.prefetch)
+    raise SimulationError(f"unknown prefetcher kind {kind!r}")
+
+
+class Simulator:
+    """One configured machine, ready to run one trace."""
+
+    def __init__(self, trace: Trace, config: SimConfig,
+                 name: str | None = None, tracer=None):
+        if config.max_instructions is not None \
+                and config.max_instructions < len(trace):
+            trace = trace.slice(0, config.max_instructions)
+        self._warm_records = []
+        if config.fast_forward_instructions > 0:
+            cut = min(config.fast_forward_instructions, len(trace) - 1)
+            self._warm_records = trace.records[:cut]
+            trace = trace.slice(cut, len(trace))
+        self.trace = trace
+        self.config = config
+        self.name = name or trace.name
+        self.stats = StatGroup("sim")
+
+        predictor_cfg = config.frontend.predictor
+        self.predictor = make_direction_predictor(predictor_cfg)
+        self.ras = ReturnAddressStack(predictor_cfg.ras_depth)
+        if predictor_cfg.ftb_l2_sets:
+            self.ftb = TwoLevelFTB(
+                predictor_cfg.ftb_sets, predictor_cfg.ftb_ways,
+                predictor_cfg.ftb_l2_sets, predictor_cfg.ftb_l2_ways,
+                predictor_cfg.ftb_l2_latency)
+        else:
+            self.ftb = FetchTargetBuffer(predictor_cfg.ftb_sets,
+                                         predictor_cfg.ftb_ways)
+        self.ftq = FetchTargetQueue(config.frontend.ftq_depth)
+        self.memory = MemorySystem(
+            config.memory,
+            prefetch_fill_to_l1=config.prefetch.fill_l1_directly)
+        self.prefetcher = make_prefetcher(config, self.memory)
+        self.memory.sidecar = self.prefetcher.sidecar
+        self.backend = Backend(config.core)
+        self.predict_unit = PredictUnit(self.trace, self.ftb, self.predictor,
+                                        self.ras, config.frontend)
+        self.fetch_engine = FetchEngine(
+            self.trace, self.memory, self.ftq, self.backend, self.prefetcher,
+            config.core, self._schedule_resolution)
+
+        self.cycle = 0
+        self.tracer = tracer
+        self._resolve_at: int | None = None
+        self._resolve_entry: FTQEntry | None = None
+        self._warmed = config.warmup_instructions == 0
+        self._measure_start_cycle = 0
+        self._measure_start_retired = 0
+        if self._warm_records:
+            self._fast_forward()
+
+    # ------------------------------------------------------------------
+
+    def _fast_forward(self) -> None:
+        """Functionally warm caches, FTB, and predictor (no timing).
+
+        Approximates what a timed warm-up would leave behind: every
+        touched block resident in L1-I/L2 (subject to capacity), the FTB
+        trained on taken control transfers with fetch-block starts
+        tracked the way the prediction unit partitions blocks, and the
+        direction predictor trained on every conditional.  Statistics
+        are reset afterwards so the measured region starts clean.
+        """
+        from repro.ftb import FTBEntry
+        from repro.isa import INSTRUCTION_BYTES, InstrKind
+
+        block_bytes = self.memory.block_bytes
+        cap_bytes = self.config.frontend.max_fetch_block \
+            * INSTRUCTION_BYTES
+        history = 0
+        history_mask = (1 << self.config.frontend.predictor
+                        .history_bits) - 1
+        l1i, l2 = self.memory.l1i, self.memory.l2
+        predictor, ftb = self.predictor, self.ftb
+        block_start = self._warm_records[0].pc
+
+        for record in self._warm_records:
+            bid = record.pc // block_bytes
+            if not l1i.contains(bid):
+                l1i.fill(bid)
+                l2.fill(bid)
+            kind = record.kind
+            if kind == InstrKind.BRANCH_COND:
+                predictor.update(record.pc, history, record.taken)
+                history = ((history << 1) | int(record.taken)) \
+                    & history_mask
+            if record.next_pc != record.pc + INSTRUCTION_BYTES:
+                target = None if kind.is_return else record.next_pc
+                ftb.install(FTBEntry(
+                    start=block_start,
+                    fallthrough=record.pc + INSTRUCTION_BYTES,
+                    target=target, kind=kind))
+                block_start = record.next_pc
+            elif record.pc + INSTRUCTION_BYTES - block_start >= cap_bytes:
+                block_start = record.next_pc
+
+        for group in self._stat_groups():
+            group.reset()
+        self.stats.bump("fast_forwarded", len(self._warm_records))
+
+    def _schedule_resolution(self, entry: FTQEntry, resolve_at: int) -> None:
+        if self._resolve_entry is not None:
+            raise SimulationError(
+                "two unresolved mispredictions in flight; the front end "
+                "should have been down the wrong path")
+        self._resolve_entry = entry
+        self._resolve_at = resolve_at
+
+    def _squash_and_redirect(self) -> None:
+        entry = self._resolve_entry
+        self._resolve_entry = None
+        self._resolve_at = None
+        self.ftq.clear()
+        self.fetch_engine.squash()
+        self.backend.flush_wrong_path()
+        self.prefetcher.squash()
+        self.predict_unit.on_resolve(entry)
+        self.stats.bump("squashes")
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Simulate until the whole trace has retired."""
+        total = len(self.trace)
+        warmup = min(self.config.warmup_instructions, max(0, total - 1))
+        max_cycles = self.config.max_cycles
+        if max_cycles is None:
+            max_cycles = _DEFAULT_CYCLE_CAP_PER_INSTR * total + 100_000
+
+        occupancy = self.stats.histogram("ftq_occupancy")
+        while self.backend.retired < total:
+            self.cycle += 1
+            cycle = self.cycle
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"cycle cap exceeded ({max_cycles}); retired "
+                    f"{self.backend.retired}/{total} — likely a deadlock")
+            self.memory.begin_cycle(cycle)
+            self.backend.retire(cycle)
+            if self._resolve_at is not None and cycle >= self._resolve_at:
+                self._squash_and_redirect()
+            self.fetch_engine.tick(cycle)
+            self.predict_unit.tick(cycle, self.ftq)
+            self.prefetcher.tick(cycle, self.ftq)
+            occupancy.observe(self.ftq.occupancy())
+            if self.tracer is not None:
+                self.tracer.record(cycle, self)
+
+            if not self._warmed and self.backend.retired >= warmup:
+                self._reset_measurement()
+                occupancy = self.stats.histogram("ftq_occupancy")
+
+        return self._collect()
+
+    def _reset_measurement(self) -> None:
+        self._warmed = True
+        self._measure_start_cycle = self.cycle
+        self._measure_start_retired = self.backend.retired
+        for group in self._stat_groups():
+            group.reset()
+
+    # ------------------------------------------------------------------
+
+    def _stat_groups(self) -> list[StatGroup]:
+        groups = list(self.prefetcher.extra_stat_groups())
+        return groups + [
+            self.stats,
+            self.ftq.stats,
+            self.predict_unit.stats,
+            self.predictor.stats,
+            self.ras.stats,
+            self.ftb.stats,
+            *([self.ftb.l1.stats, self.ftb.l2.stats]
+              if isinstance(self.ftb, TwoLevelFTB) else []),
+            self.fetch_engine.stats,
+            self.backend.stats,
+            self.memory.stats,
+            self.memory.l1i.stats,
+            self.memory.l2.stats,
+            self.memory.bus.stats,
+            self.memory.mshrs.stats,
+        ]
+
+    def _collect(self) -> SimResult:
+        flat: dict[str, int] = {}
+        for group in self._stat_groups():
+            group.merged_into(flat)
+
+        cycles = self.cycle - self._measure_start_cycle
+        instructions = self.backend.retired - self._measure_start_retired
+        prefetches_issued = flat.get("mem.prefetches_issued", 0)
+        prefetches_useful = (flat.get("pbuf.useful_hits", 0)
+                             + flat.get("stream.head_hits", 0))
+        prefetches_late = flat.get("mem.late_prefetch_fills", 0)
+
+        occupancy = self.stats.histogram("ftq_occupancy")
+        return SimResult(
+            name=self.name,
+            prefetcher=self.config.prefetch.kind,
+            cycles=cycles,
+            instructions=instructions,
+            mispredicts=flat.get("predict.mispredicts", 0),
+            bpred_accuracy=self.predictor.accuracy,
+            ftq_mean_occupancy=occupancy.mean,
+            demand_misses=flat.get("mem.demand_misses", 0),
+            demand_merges=flat.get("mshr.demand_merges", 0),
+            bus_utilization=self.memory.bus.utilization(cycles),
+            l2_misses=flat.get("mem.l2_misses", 0),
+            prefetches_issued=prefetches_issued,
+            prefetches_useful=prefetches_useful,
+            prefetches_late=prefetches_late,
+            counters=flat,
+            ftq_occupancy_hist=occupancy.as_dict(),
+            fetch_block_hist=self.predict_unit.stats
+            .histogram("fetch_block_instrs").as_dict(),
+            prefetch_lead_hist=self.prefetcher.lead_histogram(),
+        )
+
+
+def run_simulation(trace: Trace, config: SimConfig,
+                   name: str | None = None) -> SimResult:
+    """Build a :class:`Simulator` and run it to completion."""
+    return Simulator(trace, config, name=name).run()

@@ -1,0 +1,18 @@
+"""Statistics primitives and report formatting."""
+
+from repro.stats.counters import Histogram, StatGroup
+from repro.stats.report import (
+    format_table,
+    format_value,
+    rows_to_csv,
+    rows_to_json,
+)
+
+__all__ = [
+    "Histogram",
+    "StatGroup",
+    "format_table",
+    "format_value",
+    "rows_to_csv",
+    "rows_to_json",
+]

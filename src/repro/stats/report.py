@@ -1,0 +1,81 @@
+"""Plain-text table formatting and CSV/JSON export for experiment results.
+
+The benchmark harness prints paper-style tables: a header row, aligned
+columns, and numeric formatting chosen per column.  Nothing here depends on
+the simulator; the input is rows of plain Python values.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Sequence
+
+__all__ = ["format_table", "rows_to_csv", "rows_to_json", "format_value"]
+
+
+def format_value(value: Any, precision: int = 3) -> str:
+    """Render one cell: floats to ``precision`` digits, others via str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Format ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Numeric columns are right-aligned, text columns left-aligned.  The
+    result ends without a trailing newline so callers can ``print`` it
+    directly.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+
+    cells = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    numeric = [
+        all(isinstance(row[i], (int, float)) and not isinstance(row[i], bool)
+            for row in rows) and bool(rows)
+        for i in range(len(headers))
+    ]
+
+    def align(text: str, col: int) -> str:
+        if numeric[col]:
+            return text.rjust(widths[col])
+        return text.ljust(widths[col])
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(align(cell, i) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Serialize rows as CSV text (header line included)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return out.getvalue()
+
+
+def rows_to_json(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Serialize rows as a JSON list of objects keyed by header names."""
+    records = [dict(zip(headers, row)) for row in rows]
+    return json.dumps(records, indent=2, sort_keys=False)

@@ -1,0 +1,73 @@
+"""Trace comparison utilities.
+
+Used to verify determinism guarantees (same program + seed must produce
+identical traces across versions/machines) and to debug generator or
+walker changes: :func:`diff_traces` reports the first divergence and a
+summary of how different two traces are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.stream import Trace
+
+__all__ = ["TraceDiff", "diff_traces", "traces_equal"]
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Outcome of comparing two traces."""
+
+    identical: bool
+    length_a: int
+    length_b: int
+    first_divergence: int | None      # record index, None if none
+    divergent_records: int            # count over the common prefix
+    detail: str
+
+    def __bool__(self) -> bool:
+        """Truthy when the traces DIFFER (like a diff tool's exit)."""
+        return not self.identical
+
+
+def traces_equal(a: Trace, b: Trace) -> bool:
+    """Exact record-level equality (metadata ignored)."""
+    return a.records == b.records
+
+
+def diff_traces(a: Trace, b: Trace, max_detail: int = 3) -> TraceDiff:
+    """Compare two traces record by record.
+
+    ``detail`` holds a human-readable description of up to
+    ``max_detail`` divergent positions.
+    """
+    common = min(len(a), len(b))
+    first = None
+    divergent = 0
+    lines: list[str] = []
+    for index in range(common):
+        if a[index] != b[index]:
+            divergent += 1
+            if first is None:
+                first = index
+            if len(lines) < max_detail:
+                lines.append(f"  @{index}: {a[index]!r} != {b[index]!r}")
+    if len(a) != len(b):
+        lines.append(f"  lengths differ: {len(a)} vs {len(b)}")
+    identical = divergent == 0 and len(a) == len(b)
+    if identical:
+        detail = "identical"
+    else:
+        where = "nowhere in common prefix" if first is None \
+            else f"first at record {first}"
+        detail = (f"{divergent} divergent of {common} compared "
+                  f"({where})\n" + "\n".join(lines))
+    return TraceDiff(
+        identical=identical,
+        length_a=len(a),
+        length_b=len(b),
+        first_divergence=first,
+        divergent_records=divergent,
+        detail=detail,
+    )

@@ -1,0 +1,82 @@
+"""Binary trace file format.
+
+Layout of a ``.trace.gz`` file (gzip-compressed):
+
+- one UTF-8 JSON header line terminated by ``\\n`` with keys ``magic``,
+  ``version``, ``name``, ``seed``, ``count``;
+- ``count`` fixed-width records, each ``<QBBQ``: pc (u64), kind (u8),
+  taken (u8), next_pc (u64), little endian.
+
+The format is deliberately simple: it round-trips exactly, detects
+truncation, and rejects files written by other tools or other versions.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import struct
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.isa import InstrKind
+from repro.trace.records import TraceRecord
+from repro.trace.stream import Trace
+
+__all__ = ["write_trace", "read_trace", "TRACE_MAGIC", "TRACE_VERSION"]
+
+TRACE_MAGIC = "repro-trace"
+TRACE_VERSION = 1
+
+_RECORD = struct.Struct("<QBBQ")
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` (parent directory must exist)."""
+    header = {
+        "magic": TRACE_MAGIC,
+        "version": TRACE_VERSION,
+        "name": trace.name,
+        "seed": trace.seed,
+        "count": len(trace),
+    }
+    with gzip.open(path, "wb") as out:
+        out.write(json.dumps(header).encode("utf-8"))
+        out.write(b"\n")
+        pack = _RECORD.pack
+        for record in trace:
+            out.write(pack(record.pc, int(record.kind),
+                           int(record.taken), record.next_pc))
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    path = Path(path)
+    try:
+        with gzip.open(path, "rb") as inp:
+            header_line = inp.readline()
+            try:
+                header = json.loads(header_line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise TraceError(f"{path}: malformed trace header") from exc
+            if header.get("magic") != TRACE_MAGIC:
+                raise TraceError(f"{path}: not a repro trace file")
+            if header.get("version") != TRACE_VERSION:
+                raise TraceError(
+                    f"{path}: unsupported trace version "
+                    f"{header.get('version')!r}")
+            count = header["count"]
+            payload = inp.read(count * _RECORD.size + 1)
+    except OSError as exc:
+        raise TraceError(f"{path}: cannot read trace: {exc}") from exc
+
+    if len(payload) != count * _RECORD.size:
+        raise TraceError(
+            f"{path}: expected {count} records, payload holds "
+            f"{len(payload) // _RECORD.size}")
+
+    records = [
+        TraceRecord(pc, InstrKind(kind), bool(taken), next_pc)
+        for pc, kind, taken, next_pc in _RECORD.iter_unpack(payload)
+    ]
+    return Trace(records, name=header["name"], seed=header["seed"])

@@ -1,0 +1,44 @@
+"""Dynamic trace records.
+
+A trace is the committed (architecturally correct) instruction stream of one
+program execution.  Each record carries exactly what a front-end simulator
+needs: the instruction address, its kind, whether control transferred, and
+the address of the next committed instruction.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.isa import INSTRUCTION_BYTES, InstrKind
+
+__all__ = ["TraceRecord"]
+
+
+class TraceRecord(NamedTuple):
+    """One committed dynamic instruction.
+
+    ``taken`` is True whenever control actually transferred (always True
+    for unconditional control instructions, the outcome for conditional
+    branches, always False for non-control instructions).  ``next_pc`` is
+    the address of the next committed instruction, whatever the transfer.
+    """
+
+    pc: int
+    kind: InstrKind
+    taken: bool
+    next_pc: int
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind.is_control
+
+    @property
+    def redirects(self) -> bool:
+        """True when the next instruction is not sequential."""
+        return self.next_pc != self.pc + INSTRUCTION_BYTES
+
+    def __repr__(self) -> str:
+        arrow = "->" if self.taken else "=>"
+        return (f"TraceRecord({self.pc:#x} {self.kind.name} "
+                f"{arrow} {self.next_pc:#x})")

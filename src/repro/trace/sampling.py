@@ -1,0 +1,62 @@
+"""Trace sampling.
+
+Long traces can be reduced for quick studies using systematic sampling:
+alternate *measured* windows of ``sample`` instructions with *skipped*
+gaps of ``skip`` instructions.  This is the classic trace-driven
+methodology compromise — cheaper runs at the cost of cold-structure
+transients at each window start (which is why :func:`sample_trace` keeps
+windows contiguous rather than shuffling records).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.trace.stream import Trace
+
+__all__ = ["sample_trace", "split_trace"]
+
+
+def sample_trace(trace: Trace, sample: int, skip: int) -> Trace:
+    """Keep alternating windows: ``sample`` records kept, ``skip`` dropped.
+
+    The first window starts at record 0.  Raises
+    :class:`~repro.errors.TraceError` when the parameters are
+    non-positive or nothing would be kept.
+    """
+    if sample < 1:
+        raise TraceError("sample window must be >= 1")
+    if skip < 0:
+        raise TraceError("skip gap must be >= 0")
+    if skip == 0:
+        return trace
+    records = trace.records
+    kept = []
+    period = sample + skip
+    for start in range(0, len(records), period):
+        kept.extend(records[start:start + sample])
+    if not kept:
+        raise TraceError("sampling kept no records")
+    return Trace(kept, name=f"{trace.name}[sampled {sample}/{period}]",
+                 seed=trace.seed)
+
+
+def split_trace(trace: Trace, parts: int) -> list[Trace]:
+    """Split a trace into ``parts`` contiguous, near-equal sub-traces.
+
+    Useful for per-phase analysis or for distributing one long trace
+    across workers.  Every record lands in exactly one part.
+    """
+    if parts < 1:
+        raise TraceError("parts must be >= 1")
+    if parts > len(trace):
+        raise TraceError(
+            f"cannot split {len(trace)} records into {parts} parts")
+    chunk = len(trace) // parts
+    remainder = len(trace) % parts
+    pieces = []
+    start = 0
+    for index in range(parts):
+        size = chunk + (1 if index < remainder else 0)
+        pieces.append(trace.slice(start, start + size))
+        start += size
+    return pieces

@@ -1,0 +1,95 @@
+"""Trace characterization.
+
+Computes the workload table the paper-style evaluation reports: dynamic
+instruction mix, control-flow density, taken rate, instruction footprint
+(distinct addresses and distinct cache blocks), and the branch target
+offset distribution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.isa import INSTRUCTION_BYTES, InstrKind
+from repro.stats import Histogram
+from repro.trace.stream import Trace
+
+__all__ = ["TraceStats", "characterize"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one trace."""
+
+    name: str
+    n_records: int
+    kind_counts: dict[InstrKind, int]
+    control_fraction: float
+    taken_fraction: float
+    distinct_pcs: int
+    footprint_bytes: int
+    distinct_blocks: int
+    block_bytes: int
+    offset_bits: Histogram
+
+    @property
+    def footprint_kb(self) -> float:
+        return self.footprint_bytes / 1024.0
+
+    @property
+    def block_footprint_bytes(self) -> int:
+        return self.distinct_blocks * self.block_bytes
+
+    def mix_fraction(self, kind: InstrKind) -> float:
+        if self.n_records == 0:
+            return 0.0
+        return self.kind_counts.get(kind, 0) / self.n_records
+
+
+def _offset_bits(distance_instrs: int) -> int:
+    """Bits needed to encode a signed branch offset in instructions."""
+    magnitude = abs(distance_instrs)
+    bits = 0
+    while magnitude:
+        bits += 1
+        magnitude >>= 1
+    return bits
+
+
+def characterize(trace: Trace, block_bytes: int = 32) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``.
+
+    ``block_bytes`` sets the cache block size used for the block-footprint
+    figures (matching the L1-I geometry being simulated).
+    """
+    kind_counts: Counter[InstrKind] = Counter()
+    pcs = set()
+    blocks = set()
+    control = 0
+    taken = 0
+    offsets = Histogram()
+    for record in trace:
+        kind_counts[record.kind] += 1
+        pcs.add(record.pc)
+        blocks.add(record.pc // block_bytes)
+        if record.kind.is_control:
+            control += 1
+            if record.taken:
+                taken += 1
+                distance = ((record.next_pc - record.pc)
+                            // INSTRUCTION_BYTES)
+                offsets.observe(_offset_bits(distance))
+    n = len(trace)
+    return TraceStats(
+        name=trace.name,
+        n_records=n,
+        kind_counts=dict(kind_counts),
+        control_fraction=control / n if n else 0.0,
+        taken_fraction=taken / control if control else 0.0,
+        distinct_pcs=len(pcs),
+        footprint_bytes=len(pcs) * INSTRUCTION_BYTES,
+        distinct_blocks=len(blocks),
+        block_bytes=block_bytes,
+        offset_bits=offsets,
+    )

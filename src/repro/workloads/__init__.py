@@ -1,0 +1,30 @@
+"""Named synthetic workloads standing in for the paper's benchmarks."""
+
+from repro.workloads.calibrate import (
+    DEFAULT_BANDS,
+    CalibrationBand,
+    CalibrationReport,
+    calibrate,
+    calibrate_suite,
+)
+from repro.workloads.suite import (
+    ALL_WORKLOADS,
+    CLIENT_WORKLOADS,
+    PROFILES,
+    SERVER_WORKLOADS,
+    WorkloadProfile,
+    build_program,
+    build_trace,
+    get_profile,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "PROFILES",
+    "ALL_WORKLOADS",
+    "CLIENT_WORKLOADS",
+    "SERVER_WORKLOADS",
+    "get_profile",
+    "build_program",
+    "build_trace",
+]

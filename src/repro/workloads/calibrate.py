@@ -1,0 +1,117 @@
+"""Workload calibration checking.
+
+Each profile carries an *intent*: a band of front-end-relevant
+characteristics (dynamic block footprint, control fraction, taken rate,
+base L1-I MPKI) that makes it a meaningful stand-in for its namesake
+benchmark class.  :func:`calibrate` measures a profile against its band
+and reports drift — the maintenance tool to run after touching the
+generator or the profile shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PrefetchConfig, PrefetcherKind, SimConfig
+from repro.sim import run_simulation
+from repro.trace import characterize
+from repro.workloads.suite import ALL_WORKLOADS, build_trace, get_profile
+
+__all__ = ["CalibrationBand", "CalibrationReport", "calibrate",
+           "calibrate_suite", "DEFAULT_BANDS"]
+
+
+@dataclass(frozen=True)
+class CalibrationBand:
+    """Acceptable ranges for one profile's measured characteristics."""
+
+    dyn_footprint_kb: tuple[float, float]
+    control_fraction: tuple[float, float] = (0.10, 0.35)
+    taken_fraction: tuple[float, float] = (0.55, 0.95)
+    base_mpki: tuple[float, float] = (0.0, 100.0)
+
+
+# Bands encode the *category* intent: clients must (mostly) fit a 16KB
+# L1-I, servers must exceed it.  Per-profile footprint bands order the
+# suite from tiny kernels to the largest OO server workload.  Bands
+# assume trace lengths of roughly the default 60k instructions or more
+# (dynamic footprints grow with trace length before saturating).
+DEFAULT_BANDS: dict[str, CalibrationBand] = {
+    "compress_like": CalibrationBand((0.05, 4.0), base_mpki=(0.0, 3.0)),
+    "li_like": CalibrationBand((1.0, 8.0), base_mpki=(0.0, 6.0)),
+    "ijpeg_like": CalibrationBand((1.0, 10.0), base_mpki=(0.0, 6.0)),
+    "m88ksim_like": CalibrationBand((1.0, 12.0), base_mpki=(0.0, 8.0)),
+    "deltablue_like": CalibrationBand((4.0, 16.0), base_mpki=(1.0, 25.0)),
+    "go_like": CalibrationBand((3.0, 16.0), base_mpki=(0.5, 15.0)),
+    "groff_like": CalibrationBand((10.0, 32.0), base_mpki=(3.0, 30.0)),
+    "perl_like": CalibrationBand((13.0, 48.0), base_mpki=(10.0, 70.0)),
+    "gcc_like": CalibrationBand((16.0, 48.0), base_mpki=(8.0, 50.0)),
+    "vortex_like": CalibrationBand((24.0, 80.0), base_mpki=(15.0, 90.0)),
+}
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Measured characteristics of one profile vs its band."""
+
+    name: str
+    dyn_footprint_kb: float
+    control_fraction: float
+    taken_fraction: float
+    base_mpki: float
+    failures: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _in_band(value: float, band: tuple[float, float]) -> bool:
+    return band[0] <= value <= band[1]
+
+
+def calibrate(name: str, trace_length: int = 60_000, seed: int = 1,
+              band: CalibrationBand | None = None) -> CalibrationReport:
+    """Measure one profile and compare against its band."""
+    get_profile(name)  # raises for unknown names
+    if band is None:
+        band = DEFAULT_BANDS[name]
+    trace = build_trace(name, trace_length, seed=seed)
+    stats = characterize(trace)
+    base = run_simulation(trace, SimConfig(
+        prefetch=PrefetchConfig(kind=PrefetcherKind.NONE),
+        warmup_instructions=trace_length // 5))
+
+    dyn_kb = stats.distinct_blocks * stats.block_bytes / 1024.0
+    failures = []
+    if not _in_band(dyn_kb, band.dyn_footprint_kb):
+        failures.append(
+            f"dyn footprint {dyn_kb:.1f}KB outside "
+            f"{band.dyn_footprint_kb}")
+    if not _in_band(stats.control_fraction, band.control_fraction):
+        failures.append(
+            f"control fraction {stats.control_fraction:.2f} outside "
+            f"{band.control_fraction}")
+    if not _in_band(stats.taken_fraction, band.taken_fraction):
+        failures.append(
+            f"taken fraction {stats.taken_fraction:.2f} outside "
+            f"{band.taken_fraction}")
+    if not _in_band(base.l1i_mpki, band.base_mpki):
+        failures.append(
+            f"base MPKI {base.l1i_mpki:.1f} outside {band.base_mpki}")
+
+    return CalibrationReport(
+        name=name,
+        dyn_footprint_kb=dyn_kb,
+        control_fraction=stats.control_fraction,
+        taken_fraction=stats.taken_fraction,
+        base_mpki=base.l1i_mpki,
+        failures=tuple(failures),
+    )
+
+
+def calibrate_suite(trace_length: int = 60_000,
+                    seed: int = 1) -> list[CalibrationReport]:
+    """Calibrate every profile in the suite."""
+    return [calibrate(name, trace_length, seed)
+            for name in ALL_WORKLOADS]

@@ -1,0 +1,194 @@
+"""The workload suite.
+
+The paper evaluates on SPEC95-era programs with widely varying instruction
+footprints.  Those binaries (and the authors' SimpleScalar setup) are not
+available here, so each benchmark is substituted by a synthetic profile
+whose *front-end-relevant* characteristics bracket the original: static
+code footprint, dispatch fan-out (how much code each outer-loop iteration
+sweeps), call-graph depth, branch bias mix, and indirect-branch density.
+
+Profiles are grouped into two categories:
+
+- ``client`` — small instruction working sets that mostly fit a 16KB L1-I;
+  prefetching opportunity is limited.
+- ``server`` — working sets several times the L1-I, swept repeatedly by a
+  wide dispatch loop; these are the workloads where fetch-directed
+  prefetching shines.
+
+Every profile is deterministic: (profile name, seed, length) identifies a
+trace exactly, which the on-disk trace cache exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg import Program, ProgramShape, generate_program
+from repro.errors import ConfigError
+from repro.trace import Trace, TraceCache
+
+__all__ = [
+    "WorkloadProfile",
+    "PROFILES",
+    "CLIENT_WORKLOADS",
+    "SERVER_WORKLOADS",
+    "ALL_WORKLOADS",
+    "get_profile",
+    "build_program",
+    "build_trace",
+]
+
+_GENERATOR_VERSION = 6  # bump to invalidate cached traces
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One named synthetic workload."""
+
+    name: str
+    category: str              # "client" or "server"
+    description: str
+    shape: ProgramShape
+    program_seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.category not in ("client", "server"):
+            raise ConfigError(
+                f"category must be client/server, got {self.category!r}")
+
+
+def _shape(target_instrs: int, n_functions: int, fanout: int,
+           zipf: float = 0.6, levels: int = 8,
+           indirect: float = 0.15, loops: float = 0.25,
+           call_zipf: float = 1.2, p_call: float = 0.16,
+           biases: tuple[float, ...] | None = None) -> ProgramShape:
+    kwargs = dict(
+        target_instrs=target_instrs,
+        n_functions=n_functions,
+        n_levels=min(levels, n_functions),
+        dispatcher_fanout=fanout,
+        dispatcher_zipf_s=zipf,
+        p_call_indirect=indirect,
+        p_loop=loops,
+        call_zipf_s=call_zipf,
+        p_call=p_call,
+    )
+    if biases is not None:
+        kwargs["taken_bias_choices"] = biases
+    return ProgramShape(**kwargs)
+
+
+PROFILES: dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in [
+        WorkloadProfile(
+            name="compress_like",
+            category="client",
+            description="tiny loopy kernel; fits the L1-I easily",
+            shape=_shape(2048, 12, 2, zipf=1.2, levels=4, loops=0.40),
+        ),
+        WorkloadProfile(
+            name="li_like",
+            category="client",
+            description="lisp interpreter; tiny hot loop, deep recursion",
+            shape=_shape(4096, 24, 2, zipf=1.1, levels=6, loops=0.35,
+                         indirect=0.25),
+        ),
+        WorkloadProfile(
+            name="ijpeg_like",
+            category="client",
+            description="image codec; compute kernels, few branches",
+            shape=_shape(8192, 40, 4, zipf=1.0, levels=6, loops=0.45,
+                         biases=(0.05, 0.1, 0.9, 0.95)),
+        ),
+        WorkloadProfile(
+            name="m88ksim_like",
+            category="client",
+            description="small simulator loop; modest footprint",
+            shape=_shape(6144, 32, 3, zipf=1.0, levels=6, loops=0.32),
+        ),
+        WorkloadProfile(
+            name="deltablue_like",
+            category="client",
+            description="OO constraint solver; call/indirect heavy",
+            shape=_shape(12288, 64, 6, zipf=0.9, levels=8, indirect=0.30),
+        ),
+        WorkloadProfile(
+            name="go_like",
+            category="client",
+            description="hard-to-predict branches, mid footprint",
+            shape=_shape(24576, 96, 8, zipf=0.8,
+                         biases=(0.2, 0.35, 0.5, 0.5, 0.65, 0.8)),
+        ),
+        WorkloadProfile(
+            name="groff_like",
+            category="server",
+            description="document formatter; large swept working set",
+            shape=_shape(32768, 128, 32, zipf=0.35, call_zipf=0.4,
+                         loops=0.18, p_call=0.20),
+        ),
+        WorkloadProfile(
+            name="perl_like",
+            category="server",
+            description="interpreter dispatch; indirect heavy, large",
+            shape=_shape(40960, 160, 40, zipf=0.3, indirect=0.35,
+                         call_zipf=0.4, loops=0.18, p_call=0.20),
+        ),
+        WorkloadProfile(
+            name="gcc_like",
+            category="server",
+            description="compiler passes; very large instruction footprint",
+            shape=_shape(49152, 192, 48, zipf=0.15, call_zipf=0.3,
+                         loops=0.15, p_call=0.22),
+        ),
+        WorkloadProfile(
+            name="vortex_like",
+            category="server",
+            description="OO database; the largest footprint in the suite",
+            shape=_shape(65536, 256, 72, zipf=0.1, indirect=0.25,
+                         call_zipf=0.3, loops=0.15, p_call=0.22),
+        ),
+    ]
+}
+
+CLIENT_WORKLOADS: tuple[str, ...] = tuple(
+    name for name, profile in PROFILES.items()
+    if profile.category == "client")
+SERVER_WORKLOADS: tuple[str, ...] = tuple(
+    name for name, profile in PROFILES.items()
+    if profile.category == "server")
+ALL_WORKLOADS: tuple[str, ...] = tuple(PROFILES)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by name; raises ConfigError for unknown names."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(ALL_WORKLOADS)}") from None
+
+
+def build_program(name: str) -> Program:
+    """Generate the (deterministic) program for profile ``name``."""
+    profile = get_profile(name)
+    return generate_program(profile.shape, seed=profile.program_seed,
+                            name=profile.name)
+
+
+def build_trace(name: str, length: int, seed: int = 1,
+                cache: TraceCache | None = None) -> Trace:
+    """Build (or load from cache) a trace of ``length`` instructions."""
+    profile = get_profile(name)
+
+    def _build() -> Trace:
+        program = build_program(name)
+        return Trace.from_program(program, length, seed=seed,
+                                  name=profile.name)
+
+    if cache is None:
+        cache = TraceCache()
+    key = (f"v{_GENERATOR_VERSION}:{name}:seed{profile.program_seed}"
+           f":walk{seed}:len{length}")
+    return cache.get_or_build(key, _build)

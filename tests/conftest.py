@@ -1,0 +1,92 @@
+"""Shared fixtures and trace-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg import ProgramShape, generate_program
+from repro.isa import INSTRUCTION_BYTES, InstrKind
+from repro.trace import Trace, TraceRecord
+
+
+# ----------------------------------------------------------------------
+# Hand-built trace helpers
+# ----------------------------------------------------------------------
+
+class TraceBuilder:
+    """Fluent builder of committed instruction traces for unit tests.
+
+    Keeps a current pc; each method appends records and advances the pc
+    the way the modeled instruction would.
+    """
+
+    def __init__(self, start: int = 0x40_0000):
+        self.pc = start
+        self.records: list[TraceRecord] = []
+
+    def seq(self, n: int, kind: InstrKind = InstrKind.ALU) -> "TraceBuilder":
+        """Append ``n`` sequential non-control instructions."""
+        for _ in range(n):
+            nxt = self.pc + INSTRUCTION_BYTES
+            self.records.append(TraceRecord(self.pc, kind, False, nxt))
+            self.pc = nxt
+        return self
+
+    def branch(self, target: int, taken: bool) -> "TraceBuilder":
+        """Append a conditional branch."""
+        nxt = target if taken else self.pc + INSTRUCTION_BYTES
+        self.records.append(
+            TraceRecord(self.pc, InstrKind.BRANCH_COND, taken, nxt))
+        self.pc = nxt
+        return self
+
+    def jump(self, target: int) -> "TraceBuilder":
+        self.records.append(
+            TraceRecord(self.pc, InstrKind.JUMP_DIRECT, True, target))
+        self.pc = target
+        return self
+
+    def call(self, target: int) -> "TraceBuilder":
+        self.records.append(
+            TraceRecord(self.pc, InstrKind.CALL, True, target))
+        self.pc = target
+        return self
+
+    def ret(self, target: int) -> "TraceBuilder":
+        self.records.append(
+            TraceRecord(self.pc, InstrKind.RETURN, True, target))
+        self.pc = target
+        return self
+
+    def build(self, name: str = "test") -> Trace:
+        return Trace(self.records, name=name)
+
+
+@pytest.fixture
+def tb() -> TraceBuilder:
+    return TraceBuilder()
+
+
+# ----------------------------------------------------------------------
+# Small generated programs/traces (session scoped: generation is costly)
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def small_shape() -> ProgramShape:
+    return ProgramShape(target_instrs=2048, n_functions=16,
+                        n_levels=5, dispatcher_fanout=4)
+
+
+@pytest.fixture(scope="session")
+def small_program(small_shape):
+    return generate_program(small_shape, seed=42, name="small")
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_program) -> Trace:
+    return Trace.from_program(small_program, 20_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(small_program) -> Trace:
+    return Trace.from_program(small_program, 3_000, seed=9)

@@ -1,0 +1,107 @@
+"""Analysis package: stall accounting and prefetch timeliness."""
+
+import pytest
+
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro.analysis import (
+    StallBreakdown,
+    TimelinessSummary,
+    stall_breakdown,
+    timeliness_summary,
+)
+from repro.sim import SimResult
+
+
+def make_result(counters=None, cycles=1000, **overrides):
+    defaults = dict(
+        name="w", prefetcher="fdip", cycles=cycles, instructions=2000,
+        mispredicts=10, bpred_accuracy=0.9, ftq_mean_occupancy=5.0,
+        demand_misses=40, demand_merges=10, bus_utilization=0.25,
+        l2_misses=5, prefetches_issued=100, prefetches_useful=50,
+        prefetches_late=10, counters=counters or {},
+    )
+    defaults.update(overrides)
+    return SimResult(**defaults)
+
+
+class TestStallBreakdown:
+    def test_fractions_from_counters(self):
+        result = make_result(counters={
+            "fetch.active_cycles": 500,
+            "fetch.miss_stall_cycles": 300,
+            "fetch.window_stall_cycles": 100,
+            "fetch.ftq_empty_cycles": 50,
+            "fetch.mshr_stall_cycles": 0,
+        })
+        breakdown = stall_breakdown(result)
+        assert breakdown.active == pytest.approx(0.5)
+        assert breakdown.icache_miss == pytest.approx(0.3)
+        assert breakdown.window_full == pytest.approx(0.1)
+        assert breakdown.ftq_empty == pytest.approx(0.05)
+        assert breakdown.other == pytest.approx(0.05)
+
+    def test_missing_counters_are_zero(self):
+        breakdown = stall_breakdown(make_result())
+        assert breakdown.active == 0.0
+        assert breakdown.other == pytest.approx(1.0)
+
+    def test_row_matches_headers(self):
+        breakdown = stall_breakdown(make_result())
+        assert len(breakdown.as_row()) == len(StallBreakdown.headers())
+
+    def test_end_to_end_accounting_sums_to_one(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.FDIP))
+        result = run_simulation(small_trace, config)
+        breakdown = stall_breakdown(result)
+        total = (breakdown.active + breakdown.icache_miss
+                 + breakdown.window_full + breakdown.ftq_empty
+                 + breakdown.mshr_full + breakdown.other)
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert breakdown.active > 0
+
+    def test_prefetching_shifts_miss_stalls_to_active(self, small_trace):
+        base = stall_breakdown(run_simulation(
+            small_trace,
+            SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.NONE))))
+        fdip = stall_breakdown(run_simulation(
+            small_trace,
+            SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.FDIP))))
+        assert fdip.icache_miss < base.icache_miss
+        assert fdip.active > base.active
+
+
+class TestTimeliness:
+    def test_empty_histogram(self):
+        summary = timeliness_summary(make_result())
+        assert summary.mean_lead_cycles == 0.0
+        assert summary.p50_lead_cycles == 0
+
+    def test_summary_from_histogram(self):
+        result = make_result()
+        result.prefetch_lead_hist.update({10: 5, 20: 5})
+        summary = timeliness_summary(result)
+        assert summary.mean_lead_cycles == pytest.approx(15.0)
+        assert summary.p50_lead_cycles == 10
+        assert summary.p90_lead_cycles == 20
+
+    def test_late_fraction(self):
+        summary = timeliness_summary(make_result())
+        assert summary.late_fraction == pytest.approx(10 / 60)
+
+    def test_late_fraction_empty(self):
+        result = make_result(prefetches_useful=0, prefetches_late=0)
+        assert timeliness_summary(result).late_fraction == 0.0
+
+    def test_row_matches_headers(self):
+        summary = timeliness_summary(make_result())
+        assert len(summary.as_row()) == len(TimelinessSummary.headers())
+
+    def test_end_to_end_leads_recorded(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.FDIP))
+        result = run_simulation(small_trace, config)
+        if result.prefetches_useful:
+            assert sum(result.prefetch_lead_hist.values()) > 0
+            summary = timeliness_summary(result)
+            assert summary.mean_lead_cycles >= 0.0

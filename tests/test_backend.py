@@ -1,0 +1,72 @@
+"""Backend window model."""
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.cpu import Backend
+from repro.isa import InstrKind
+from repro.trace import TraceRecord
+
+
+def record(kind=InstrKind.ALU, pc=0x40_0000):
+    return TraceRecord(pc, kind, False, pc + 4)
+
+
+def make_backend(issue_width=4, window_size=16, pipeline_depth=2,
+                 load_latency=3):
+    core = CoreConfig(fetch_width=8, issue_width=issue_width,
+                      window_size=window_size,
+                      pipeline_depth=pipeline_depth,
+                      branch_resolve_latency=4, load_latency=load_latency)
+    return Backend(core)
+
+
+class TestDelivery:
+    def test_free_slots_shrink(self):
+        backend = make_backend(window_size=16)
+        backend.deliver([record()] * 4, now=1)
+        assert backend.free_slots == 12
+        assert backend.occupancy == 4
+
+    def test_overdelivery_rejected(self):
+        backend = make_backend(window_size=4)
+        with pytest.raises(OverflowError):
+            backend.deliver([record()] * 5, now=1)
+
+
+class TestRetire:
+    def test_nothing_retires_before_completion(self):
+        backend = make_backend(pipeline_depth=2)
+        backend.deliver([record()], now=10)   # completes at 13
+        assert backend.retire(12) == 0
+        assert backend.retire(13) == 1
+
+    def test_issue_width_bounds_retire(self):
+        backend = make_backend(issue_width=2, pipeline_depth=1)
+        backend.deliver([record()] * 6, now=0)  # all complete at 2
+        assert backend.retire(10) == 2
+        assert backend.retire(11) == 2
+        assert backend.retire(12) == 2
+        assert backend.retired == 6
+
+    def test_loads_take_longer(self):
+        backend = make_backend(pipeline_depth=2, load_latency=3)
+        backend.deliver([record(InstrKind.LOAD)], now=0)  # ready at 5
+        backend.deliver([record(InstrKind.ALU)], now=0)   # ready at 3
+        # In-order retire: the ALU waits behind the load.
+        assert backend.retire(3) == 0
+        assert backend.retire(5) == 2
+
+    def test_retire_stall_accounting(self):
+        backend = make_backend(pipeline_depth=5)
+        backend.deliver([record()], now=0)
+        backend.retire(1)
+        assert backend.stats.get("retire_stall_cycles") == 1
+
+    def test_drained(self):
+        backend = make_backend()
+        assert backend.drained
+        backend.deliver([record()], now=0)
+        assert not backend.drained
+        backend.retire(100)
+        assert backend.drained

@@ -1,0 +1,51 @@
+"""Workload calibration tool."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    ALL_WORKLOADS,
+    DEFAULT_BANDS,
+    CalibrationBand,
+    calibrate,
+    calibrate_suite,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+
+
+class TestBands:
+    def test_every_workload_has_a_band(self):
+        assert set(DEFAULT_BANDS) == set(ALL_WORKLOADS)
+
+    def test_bands_are_ordered(self):
+        for band in DEFAULT_BANDS.values():
+            lo, hi = band.dyn_footprint_kb
+            assert lo < hi
+
+
+class TestCalibrate:
+    def test_client_profile_passes(self):
+        report = calibrate("compress_like", trace_length=8000)
+        assert report.ok, report.failures
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            calibrate("made_up")
+
+    def test_impossible_band_fails_with_reasons(self):
+        band = CalibrationBand((1000.0, 2000.0),
+                               control_fraction=(0.99, 1.0))
+        report = calibrate("compress_like", trace_length=8000, band=band)
+        assert not report.ok
+        assert any("footprint" in f for f in report.failures)
+        assert any("control fraction" in f for f in report.failures)
+
+    @pytest.mark.slow
+    def test_full_suite_calibrates(self):
+        reports = calibrate_suite(trace_length=60_000)
+        bad = [r for r in reports if not r.ok]
+        assert not bad, [(r.name, r.failures) for r in bad]

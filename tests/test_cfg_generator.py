@@ -1,0 +1,123 @@
+"""Generated-program invariants."""
+
+import pytest
+
+from repro.cfg import ProgramShape, generate_program
+from repro.errors import ConfigError
+from repro.isa import InstrKind
+
+
+@pytest.fixture(scope="module")
+def program():
+    shape = ProgramShape(target_instrs=4096, n_functions=24,
+                         dispatcher_fanout=6)
+    return generate_program(shape, seed=3)
+
+
+class TestShapeValidation:
+    def test_terminator_probabilities_bounded(self):
+        with pytest.raises(ConfigError):
+            ProgramShape(p_cond=0.9, p_jump=0.2, p_call=0.2)
+
+    def test_levels_bounded_by_functions(self):
+        with pytest.raises(ConfigError):
+            ProgramShape(n_functions=4, n_levels=10)
+
+    def test_minimum_size(self):
+        with pytest.raises(ConfigError):
+            ProgramShape(target_instrs=10)
+
+    def test_empty_bias_choices_rejected(self):
+        with pytest.raises(ConfigError):
+            ProgramShape(taken_bias_choices=())
+
+
+class TestGeneratedProgram:
+    def test_validates(self, program):
+        program.validate()  # raises on violation
+
+    def test_function_count(self, program):
+        assert len(program.functions) == 24
+
+    def test_size_near_target(self, program):
+        # Generation is stochastic; stay within a loose band.
+        assert 0.4 * 4096 <= program.n_instrs <= 2.0 * 4096
+
+    def test_deterministic_per_seed(self):
+        shape = ProgramShape(target_instrs=1024, n_functions=8)
+        a = generate_program(shape, seed=5)
+        b = generate_program(shape, seed=5)
+        assert a.n_instrs == b.n_instrs
+        assert [f.entry for f in a.functions] == \
+            [f.entry for f in b.functions]
+        for fa, fb in zip(a.functions, b.functions):
+            for ba, bb in zip(fa.blocks, fb.blocks):
+                assert [i.kind for i in ba.instrs] == \
+                    [i.kind for i in bb.instrs]
+
+    def test_different_seeds_differ(self):
+        shape = ProgramShape(target_instrs=1024, n_functions=8)
+        a = generate_program(shape, seed=5)
+        b = generate_program(shape, seed=6)
+        kinds_a = [i.kind for f in a.functions
+                   for bl in f.blocks for i in bl.instrs]
+        kinds_b = [i.kind for f in b.functions
+                   for bl in f.blocks for i in bl.instrs]
+        assert kinds_a != kinds_b
+
+    def test_main_is_dispatch_loop(self, program):
+        main = program.functions[0]
+        kinds = [b.terminator.kind for b in main.blocks
+                 if b.terminator is not None]
+        assert InstrKind.CALL_INDIRECT in kinds
+        assert InstrKind.RETURN in kinds
+        loop_blocks = [b for b in main.blocks if b.loop_trips is not None]
+        assert loop_blocks, "main must contain its dispatch loop branch"
+
+    def test_dispatcher_targets_are_function_entries(self, program):
+        main = program.functions[0]
+        entries = {f.entry for f in program.functions}
+        dispatch = next(b for b in main.blocks
+                        if b.terminator is not None
+                        and b.terminator.kind == InstrKind.CALL_INDIRECT)
+        assert set(dispatch.indirect_targets) <= entries
+
+    def test_calls_always_go_forward(self, program):
+        """Call targets sit at higher addresses (deeper levels), which
+        bounds the walker's dynamic call depth."""
+        for function in program.functions:
+            for block in function.blocks:
+                term = block.terminator
+                if term is None:
+                    continue
+                if term.kind == InstrKind.CALL:
+                    assert term.target > function.end
+                if term.kind == InstrKind.CALL_INDIRECT:
+                    assert all(t > function.end
+                               for t in block.indirect_targets)
+
+    def test_conditional_targets_stay_in_function(self, program):
+        for function in program.functions:
+            span = range(function.start, function.end)
+            for block in function.blocks:
+                term = block.terminator
+                if term is not None and \
+                        term.kind == InstrKind.BRANCH_COND:
+                    assert term.target in span
+
+    def test_loop_branches_point_backward_or_self(self, program):
+        for function in program.functions:
+            for block in function.blocks:
+                if block.loop_trips is None:
+                    continue
+                term = block.terminator
+                assert term is not None
+                assert term.kind == InstrKind.BRANCH_COND
+                assert term.target <= block.start
+
+    def test_indirect_weights_normalized(self, program):
+        for function in program.functions:
+            for block in function.blocks:
+                if block.indirect_weights:
+                    assert sum(block.indirect_weights) == \
+                        pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,179 @@
+"""CFG model validation and lookup."""
+
+import pytest
+
+from repro.cfg import TEXT_BASE, BasicBlock, Function, Program
+from repro.errors import GenerationError
+from repro.isa import INSTRUCTION_BYTES, InstrKind, StaticInstr
+
+
+def make_block(start, kinds, fallthrough=None, target=None, **kwargs):
+    """Build a block from a list of kinds; last may be control."""
+    instrs = []
+    pc = start
+    for i, kind in enumerate(kinds):
+        is_last = i == len(kinds) - 1
+        tgt = target if (is_last and kind.is_control
+                         and not kind.is_indirect) else None
+        instrs.append(StaticInstr(pc, kind, tgt))
+        pc += INSTRUCTION_BYTES
+    return BasicBlock(start=start, instrs=instrs, fallthrough=fallthrough,
+                      **kwargs)
+
+
+def single_return_function(name="f", start=TEXT_BASE):
+    block = make_block(start, [InstrKind.ALU, InstrKind.RETURN])
+    return Function(name=name, blocks=[block])
+
+
+class TestBasicBlock:
+    def test_end_and_count(self):
+        block = make_block(TEXT_BASE, [InstrKind.ALU, InstrKind.ALU,
+                                       InstrKind.RETURN])
+        assert block.n_instrs == 3
+        assert block.end == TEXT_BASE + 12
+
+    def test_terminator_detected(self):
+        block = make_block(TEXT_BASE, [InstrKind.ALU, InstrKind.RETURN])
+        assert block.terminator is not None
+        assert block.terminator.kind == InstrKind.RETURN
+
+    def test_fallthrough_block_has_no_terminator(self):
+        block = make_block(TEXT_BASE, [InstrKind.ALU, InstrKind.LOAD],
+                           fallthrough=TEXT_BASE + 8)
+        assert block.terminator is None
+
+    def test_empty_block_rejected(self):
+        block = BasicBlock(start=TEXT_BASE, instrs=[], fallthrough=None)
+        with pytest.raises(GenerationError):
+            block.validate()
+
+    def test_noncontiguous_pcs_rejected(self):
+        instrs = [StaticInstr(TEXT_BASE, InstrKind.ALU),
+                  StaticInstr(TEXT_BASE + 8, InstrKind.RETURN)]
+        block = BasicBlock(start=TEXT_BASE, instrs=instrs, fallthrough=None)
+        with pytest.raises(GenerationError):
+            block.validate()
+
+    def test_mid_block_control_rejected(self):
+        instrs = [StaticInstr(TEXT_BASE, InstrKind.JUMP_DIRECT,
+                              TEXT_BASE + 8),
+                  StaticInstr(TEXT_BASE + 4, InstrKind.RETURN)]
+        block = BasicBlock(start=TEXT_BASE, instrs=instrs, fallthrough=None)
+        with pytest.raises(GenerationError):
+            block.validate()
+
+    def test_no_terminator_no_fallthrough_rejected(self):
+        block = make_block(TEXT_BASE, [InstrKind.ALU])
+        with pytest.raises(GenerationError):
+            block.validate()
+
+    def test_direct_branch_needs_target(self):
+        instrs = [StaticInstr(TEXT_BASE, InstrKind.BRANCH_COND)]
+        block = BasicBlock(start=TEXT_BASE, instrs=instrs,
+                           fallthrough=TEXT_BASE + 4)
+        with pytest.raises(GenerationError):
+            block.validate()
+
+    def test_indirect_needs_target_set(self):
+        instrs = [StaticInstr(TEXT_BASE, InstrKind.JUMP_INDIRECT)]
+        block = BasicBlock(start=TEXT_BASE, instrs=instrs,
+                           fallthrough=TEXT_BASE + 4)
+        with pytest.raises(GenerationError):
+            block.validate()
+
+    def test_indirect_weight_length_mismatch_rejected(self):
+        instrs = [StaticInstr(TEXT_BASE, InstrKind.JUMP_INDIRECT)]
+        block = BasicBlock(start=TEXT_BASE, instrs=instrs,
+                           fallthrough=TEXT_BASE + 4,
+                           indirect_targets=(TEXT_BASE,),
+                           indirect_weights=(0.5, 0.5))
+        with pytest.raises(GenerationError):
+            block.validate()
+
+    def test_bad_bias_rejected(self):
+        block = make_block(TEXT_BASE, [InstrKind.RETURN], taken_bias=1.5)
+        with pytest.raises(GenerationError):
+            block.validate()
+
+    def test_bad_loop_trips_rejected(self):
+        block = make_block(TEXT_BASE, [InstrKind.RETURN], loop_trips=0)
+        with pytest.raises(GenerationError):
+            block.validate()
+
+
+class TestFunction:
+    def test_must_end_in_return(self):
+        block = make_block(TEXT_BASE, [InstrKind.ALU,
+                                       InstrKind.JUMP_DIRECT],
+                           target=TEXT_BASE)
+        function = Function(name="f", blocks=[block])
+        with pytest.raises(GenerationError):
+            function.validate()
+
+    def test_contiguous_layout_enforced(self):
+        b1 = make_block(TEXT_BASE, [InstrKind.ALU],
+                        fallthrough=TEXT_BASE + 100)
+        b2 = make_block(TEXT_BASE + 100, [InstrKind.RETURN])
+        function = Function(name="f", blocks=[b1, b2])
+        with pytest.raises(GenerationError):
+            function.validate()
+
+    def test_entry_is_first_block(self):
+        function = single_return_function()
+        assert function.entry == TEXT_BASE
+
+    def test_n_instrs(self):
+        function = single_return_function()
+        assert function.n_instrs == 2
+
+
+class TestProgram:
+    def test_requires_functions(self):
+        with pytest.raises(GenerationError):
+            Program([])
+
+    def test_instr_and_block_lookup(self):
+        program = Program([single_return_function()])
+        instr = program.instr_at(TEXT_BASE + 4)
+        assert instr is not None
+        assert instr.kind == InstrKind.RETURN
+        assert program.block_at(TEXT_BASE + 4).start == TEXT_BASE
+        assert program.instr_at(0xDEAD_BEEC) is None
+
+    def test_footprint(self):
+        program = Program([single_return_function()])
+        assert program.n_instrs == 2
+        assert program.footprint_bytes == 8
+
+    def test_call_must_target_function_entry(self):
+        f0_block = BasicBlock(
+            start=TEXT_BASE,
+            instrs=[StaticInstr(TEXT_BASE, InstrKind.CALL,
+                                TEXT_BASE + 12),  # mid-function target
+                    StaticInstr(TEXT_BASE + 4, InstrKind.RETURN)],
+            fallthrough=None)
+        # Force the call mid-block constraint off by splitting blocks.
+        b1 = BasicBlock(start=TEXT_BASE,
+                        instrs=[StaticInstr(TEXT_BASE, InstrKind.CALL,
+                                            TEXT_BASE + 12)],
+                        fallthrough=TEXT_BASE + 4)
+        b2 = make_block(TEXT_BASE + 4, [InstrKind.RETURN])
+        f0 = Function(name="f0", blocks=[b1, b2])
+        f1 = single_return_function("f1", start=TEXT_BASE + 8)
+        del f0_block
+        with pytest.raises(GenerationError):
+            Program([f0, f1])
+
+    def test_function_entered_at(self):
+        f0 = single_return_function("f0", TEXT_BASE)
+        f1 = single_return_function("f1", TEXT_BASE + 8)
+        program = Program([f0, f1])
+        assert program.function_entered_at(TEXT_BASE + 8).name == "f1"
+        assert program.function_entered_at(TEXT_BASE + 4) is None
+
+    def test_noncontiguous_functions_rejected(self):
+        f0 = single_return_function("f0", TEXT_BASE)
+        f1 = single_return_function("f1", TEXT_BASE + 64)
+        with pytest.raises(GenerationError):
+            Program([f0, f1])

@@ -1,0 +1,147 @@
+"""Trace walker semantics."""
+
+import pytest
+
+from repro.cfg import (
+    MAX_CALL_DEPTH,
+    ProgramShape,
+    TraceWalker,
+    generate_program,
+)
+from repro.cfg.model import TEXT_BASE, BasicBlock, Function, Program
+from repro.isa import INSTRUCTION_BYTES, InstrKind, StaticInstr
+
+
+def build_loop_program(trips: int) -> Program:
+    """main: B0 body(1) + loop-branch back to B0, then return block."""
+    b0 = BasicBlock(
+        start=TEXT_BASE,
+        instrs=[StaticInstr(TEXT_BASE, InstrKind.ALU),
+                StaticInstr(TEXT_BASE + 4, InstrKind.BRANCH_COND,
+                            TEXT_BASE)],
+        fallthrough=TEXT_BASE + 8,
+        loop_trips=trips,
+        taken_bias=0.9,
+    )
+    b1 = BasicBlock(
+        start=TEXT_BASE + 8,
+        instrs=[StaticInstr(TEXT_BASE + 8, InstrKind.RETURN)],
+        fallthrough=None,
+    )
+    return Program([Function(name="main", blocks=[b0, b1])])
+
+
+def build_call_program() -> Program:
+    """main calls f1 then returns; f1 returns immediately."""
+    main_b0 = BasicBlock(
+        start=TEXT_BASE,
+        instrs=[StaticInstr(TEXT_BASE, InstrKind.CALL, TEXT_BASE + 8)],
+        fallthrough=TEXT_BASE + 4,
+    )
+    main_b1 = BasicBlock(
+        start=TEXT_BASE + 4,
+        instrs=[StaticInstr(TEXT_BASE + 4, InstrKind.RETURN)],
+        fallthrough=None,
+    )
+    f1_b0 = BasicBlock(
+        start=TEXT_BASE + 8,
+        instrs=[StaticInstr(TEXT_BASE + 8, InstrKind.RETURN)],
+        fallthrough=None,
+    )
+    return Program([
+        Function(name="main", blocks=[main_b0, main_b1]),
+        Function(name="f1", blocks=[f1_b0]),
+    ])
+
+
+class TestLoopSemantics:
+    def test_trip_count_pattern(self):
+        program = build_loop_program(trips=3)
+        walker = TraceWalker(program, seed=0)
+        records = walker.walk(20)
+        outcomes = [r.taken for r in records
+                    if r.kind == InstrKind.BRANCH_COND][:6]
+        # taken twice, not-taken once, repeating (trips=3).
+        assert outcomes == [True, True, False, True, True, False]
+
+    def test_loop_body_replays(self):
+        program = build_loop_program(trips=2)
+        walker = TraceWalker(program, seed=0)
+        records = walker.walk(5)
+        assert [r.pc for r in records] == [
+            TEXT_BASE, TEXT_BASE + 4,       # body + taken branch
+            TEXT_BASE, TEXT_BASE + 4,       # body + not-taken branch
+            TEXT_BASE + 8,                  # return
+        ]
+
+
+class TestCallReturn:
+    def test_return_pops_to_call_site(self):
+        program = build_call_program()
+        walker = TraceWalker(program, seed=0)
+        records = walker.walk(3)
+        assert records[0].kind == InstrKind.CALL
+        assert records[0].next_pc == TEXT_BASE + 8
+        assert records[1].kind == InstrKind.RETURN
+        assert records[1].next_pc == TEXT_BASE + 4   # back after the call
+
+    def test_main_return_restarts_program(self):
+        program = build_call_program()
+        walker = TraceWalker(program, seed=0)
+        records = walker.walk(4)
+        assert records[2].kind == InstrKind.RETURN
+        assert records[2].next_pc == program.entry
+        assert records[3].pc == program.entry
+
+
+class TestDeterminismAndShape:
+    def test_same_seed_same_trace(self, small_program):
+        a = TraceWalker(small_program, seed=4).walk(2000)
+        b = TraceWalker(small_program, seed=4).walk(2000)
+        assert a == b
+
+    def test_different_seed_differs(self, small_program):
+        a = TraceWalker(small_program, seed=4).walk(2000)
+        b = TraceWalker(small_program, seed=5).walk(2000)
+        assert a != b
+
+    def test_next_pc_chain_is_consistent(self, small_program):
+        records = TraceWalker(small_program, seed=1).walk(5000)
+        for previous, current in zip(records, records[1:]):
+            assert previous.next_pc == current.pc
+
+    def test_taken_iff_redirect_or_unconditional(self, small_program):
+        for record in TraceWalker(small_program, seed=1).walk(5000):
+            if record.kind.is_unconditional:
+                assert record.taken
+            if not record.kind.is_control:
+                assert not record.taken
+                assert record.next_pc == record.pc + INSTRUCTION_BYTES
+
+    def test_all_pcs_inside_program(self, small_program):
+        for record in TraceWalker(small_program, seed=1).walk(5000):
+            assert small_program.instr_at(record.pc) is not None
+
+    def test_record_kind_matches_static_image(self, small_program):
+        for record in TraceWalker(small_program, seed=2).walk(3000):
+            assert small_program.instr_at(record.pc).kind == record.kind
+
+    def test_call_depth_bounded(self):
+        shape = ProgramShape(target_instrs=4096, n_functions=32,
+                             n_levels=6)
+        program = generate_program(shape, seed=9)
+        walker = TraceWalker(program, seed=1)
+        depth = 0
+        max_depth = 0
+        for record in walker.records():
+            if record.kind.is_call:
+                depth += 1
+            elif record.kind.is_return:
+                depth = max(0, depth - 1)
+            max_depth = max(max_depth, depth)
+            if walker._stack == [] and max_depth > 0:
+                break
+        assert max_depth <= 6 < MAX_CALL_DEPTH
+
+    def test_walk_returns_requested_length(self, small_program):
+        assert len(TraceWalker(small_program, seed=0).walk(123)) == 123

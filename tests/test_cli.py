@@ -1,0 +1,120 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "-w", "nonexistent"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E99"])
+
+
+class TestListCommand:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "vortex_like" in out
+        assert "fdip" in out
+        assert "E15" in out
+
+
+class TestCharacterize:
+    def test_prints_metrics(self, capsys):
+        code = main(["characterize", "-w", "compress_like",
+                     "--length", "3000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "footprint KB" in out
+        assert "3000" in out
+
+
+class TestRun:
+    def test_table_output(self, capsys):
+        code = main(["run", "-w", "compress_like", "--length", "3000",
+                     "-p", "none"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+    def test_json_output(self, capsys):
+        code = main(["run", "-w", "compress_like", "--length", "3000",
+                     "-p", "fdip", "-f", "ideal", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "compress_like"
+        assert payload["prefetcher"] == "fdip"
+        assert payload["ipc"] > 0
+
+    def test_warmup_accepted(self, capsys):
+        code = main(["run", "-w", "compress_like", "--length", "3000",
+                     "--warmup", "500", "-p", "nlp"])
+        assert code == 0
+
+
+class TestExperimentCommand:
+    def test_e1(self, capsys):
+        assert main(["experiment", "E1", "--length", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "E1: Simulated machine configuration" in out
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        code = main(["report", "--length", "2000",
+                     "--experiments", "E1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "## E1" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main(["report", "--length", "2000",
+                     "--experiments", "E1", "-o", str(target)])
+        assert code == 0
+        assert "## E1" in target.read_text()
+
+
+class TestCalibrateCommand:
+    def test_single_workload_ok(self, capsys):
+        code = main(["calibrate", "-w", "compress_like",
+                     "--length", "8000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compress_like" in out
+        assert "ok" in out
+
+
+class TestReportCharts:
+    def test_e6_report_includes_chart(self, capsys):
+        code = main(["report", "--length", "2000",
+                     "--experiments", "E6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup vs FTQ depth" in out
+        assert "#" in out
+
+
+class TestCombinedPrefetcherCli:
+    def test_fdip_nlp_choice(self, capsys):
+        code = main(["run", "-w", "compress_like", "--length", "3000",
+                     "-p", "fdip_nlp"])
+        assert code == 0
+        assert "fdip_nlp" in capsys.readouterr().out

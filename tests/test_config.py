@@ -1,0 +1,196 @@
+"""Configuration dataclass validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheGeometry,
+    CoreConfig,
+    FilterMode,
+    FrontEndConfig,
+    MemoryConfig,
+    PredictorConfig,
+    PrefetchConfig,
+    PrefetcherKind,
+    SimConfig,
+    is_power_of_two,
+)
+from repro.errors import ConfigError
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 8, 1024, 1 << 20])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -1, -2, 3, 6, 12, 1023])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+
+class TestCoreConfig:
+    def test_defaults_valid(self):
+        core = CoreConfig()
+        assert core.fetch_width == 8
+        assert core.window_size >= core.issue_width
+
+    @pytest.mark.parametrize("field,value", [
+        ("fetch_width", 0),
+        ("issue_width", 0),
+        ("pipeline_depth", 0),
+        ("branch_resolve_latency", 0),
+        ("load_latency", 0),
+    ])
+    def test_rejects_nonpositive(self, field, value):
+        with pytest.raises(ConfigError):
+            CoreConfig(**{field: value})
+
+    def test_window_smaller_than_issue_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(issue_width=8, window_size=4)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CoreConfig().fetch_width = 4
+
+
+class TestPredictorConfig:
+    def test_defaults_valid(self):
+        PredictorConfig()
+
+    @pytest.mark.parametrize("field", [
+        "bimodal_entries", "gshare_entries", "meta_entries", "ftb_sets"])
+    def test_table_sizes_must_be_pow2(self, field):
+        with pytest.raises(ConfigError):
+            PredictorConfig(**{field: 1000})
+
+    def test_history_bits_bounds(self):
+        with pytest.raises(ConfigError):
+            PredictorConfig(history_bits=0)
+        with pytest.raises(ConfigError):
+            PredictorConfig(history_bits=31)
+
+    def test_ras_depth_positive(self):
+        with pytest.raises(ConfigError):
+            PredictorConfig(ras_depth=0)
+
+
+class TestCacheGeometry:
+    def test_basic_properties(self):
+        geometry = CacheGeometry(size_bytes=16 * 1024, assoc=2,
+                                 block_bytes=32)
+        assert geometry.num_sets == 256
+        assert geometry.num_blocks == 512
+
+    def test_block_bytes_pow2(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=16 * 1024, assoc=2, block_bytes=48)
+
+    def test_size_divisibility(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=1000, assoc=2, block_bytes=32)
+
+    def test_sets_must_be_pow2(self):
+        # 3 * 32 * 2 divides evenly but leaves a non-pow2 set count.
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=3 * 32 * 2, assoc=2, block_bytes=32)
+
+    def test_fully_associative_one_set(self):
+        geometry = CacheGeometry(size_bytes=32 * 32, assoc=32,
+                                 block_bytes=32)
+        assert geometry.num_sets == 1
+
+
+class TestMemoryConfig:
+    def test_defaults_valid(self):
+        memory = MemoryConfig()
+        assert memory.icache.size_bytes == 16 * 1024
+
+    def test_memory_latency_floor(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(l2_hit_latency=20, memory_latency=10)
+
+    def test_block_size_agreement(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(
+                icache=CacheGeometry(size_bytes=16 * 1024, assoc=2,
+                                     block_bytes=32),
+                l2=CacheGeometry(size_bytes=1024 * 1024, assoc=4,
+                                 block_bytes=64))
+
+    def test_tag_ports_positive(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(icache_tag_ports=0)
+
+
+class TestPrefetchConfig:
+    def test_defaults_valid(self):
+        config = PrefetchConfig()
+        assert config.kind == PrefetcherKind.FDIP
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefetchConfig(kind="teleport")
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefetchConfig(filter_mode="psychic")
+
+    @pytest.mark.parametrize("kind", PrefetcherKind.ALL)
+    def test_all_kinds_accepted(self, kind):
+        assert PrefetchConfig(kind=kind).kind == kind
+
+    @pytest.mark.parametrize("mode", FilterMode.ALL)
+    def test_all_filter_modes_accepted(self, mode):
+        assert PrefetchConfig(filter_mode=mode).filter_mode == mode
+
+    @pytest.mark.parametrize("field", [
+        "buffer_entries", "piq_depth", "max_prefetches_per_cycle",
+        "stream_buffers", "stream_depth", "nlp_degree"])
+    def test_positive_fields(self, field):
+        with pytest.raises(ConfigError):
+            PrefetchConfig(**{field: 0})
+
+
+class TestSimConfig:
+    def test_defaults_valid(self):
+        SimConfig()
+
+    def test_replace_returns_new(self):
+        config = SimConfig()
+        changed = config.replace(warmup_instructions=100)
+        assert changed.warmup_instructions == 100
+        assert config.warmup_instructions == 0
+
+    def test_hashable_for_memoization(self):
+        a = SimConfig()
+        b = SimConfig()
+        assert hash(a) == hash(b)
+        assert a == b
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(warmup_instructions=-1)
+
+    def test_max_instructions_validated(self):
+        with pytest.raises(ConfigError):
+            SimConfig(max_instructions=0)
+
+    def test_max_cycles_validated(self):
+        with pytest.raises(ConfigError):
+            SimConfig(max_cycles=0)
+
+
+class TestFrontEndConfig:
+    def test_defaults(self):
+        frontend = FrontEndConfig()
+        assert frontend.ftq_depth == 32
+
+    def test_ftq_depth_positive(self):
+        with pytest.raises(ConfigError):
+            FrontEndConfig(ftq_depth=0)
+
+    def test_max_fetch_block_positive(self):
+        with pytest.raises(ConfigError):
+            FrontEndConfig(max_fetch_block=0)

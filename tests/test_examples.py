@@ -1,0 +1,54 @@
+"""Every example script must run end to end (subprocess smoke tests)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(script: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, \
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "compress_like", "8000")
+        assert "FDIP speedup over baseline" in out
+
+    def test_compare_prefetchers(self):
+        out = run_example("compare_prefetchers.py", "5000",
+                          "compress_like", "m88ksim_like")
+        assert "Speedup over no-prefetch" in out
+        assert "m88ksim_like" in out
+
+    def test_cache_probe_filtering(self):
+        out = run_example("cache_probe_filtering.py", "m88ksim_like",
+                          "8000")
+        assert "Cache probe filtering" in out
+        assert "ideal" in out
+
+    def test_custom_workload(self, tmp_path):
+        out = run_example("custom_workload.py",
+                          str(tmp_path / "t.trace.gz"))
+        assert "round-tripped" in out
+        assert "FTQ depth sweep" in out
+
+    def test_stall_analysis(self):
+        out = run_example("stall_analysis.py", "m88ksim_like", "8000")
+        assert "fetch-cycle accounting" in out
+        assert "prefetch timeliness" in out
+
+    def test_pipeline_trace(self):
+        out = run_example("pipeline_trace.py", "m88ksim_like", "1",
+                          "40")
+        assert "cycle" in out
+        assert "retire rate" in out

@@ -1,0 +1,124 @@
+"""Structural integration tests over every registered experiment.
+
+Runs each experiment at a tiny trace length (enough to exercise every
+code path; far too short for publication-quality numbers) and checks the
+structural invariants: headers/rows agree, numbers are finite and
+positive where they must be, and the weakest of the expected shape
+properties hold.
+"""
+
+import math
+
+import pytest
+
+from repro.harness import EXPERIMENTS, Runner, run_experiment
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    import os
+    cache_dir = tmp_path_factory.mktemp("traces")
+    old = os.environ.get("REPRO_TRACE_CACHE")
+    os.environ["REPRO_TRACE_CACHE"] = str(cache_dir)
+    yield Runner(trace_length=2500)
+    if old is None:
+        os.environ.pop("REPRO_TRACE_CACHE", None)
+    else:
+        os.environ["REPRO_TRACE_CACHE"] = old
+
+
+@pytest.fixture(scope="module")
+def tables(runner):
+    return {eid: run_experiment(eid, runner) for eid in EXPERIMENTS}
+
+
+class TestStructure:
+    def test_all_experiments_produce_tables(self, tables):
+        assert set(tables) == set(EXPERIMENTS)
+
+    def test_rows_match_headers(self, tables):
+        for table in tables.values():
+            assert table.rows, f"{table.experiment_id} has no rows"
+            for row in table.rows:
+                assert len(row) == len(table.headers), \
+                    f"{table.experiment_id}: ragged row {row}"
+
+    def test_formatted_output_renders(self, tables):
+        for table in tables.values():
+            text = table.formatted()
+            assert table.experiment_id in text
+            assert len(text.splitlines()) >= len(table.rows) + 2
+
+    def test_numeric_cells_finite(self, tables):
+        for table in tables.values():
+            for row in table.rows:
+                for cell in row:
+                    if isinstance(cell, float):
+                        assert math.isfinite(cell), \
+                            f"{table.experiment_id}: non-finite {row}"
+
+    def test_experiment_ids_consistent(self, tables):
+        for eid, table in tables.items():
+            assert table.experiment_id == eid
+
+
+class TestWeakShapes:
+    """Shape checks robust even at tiny trace lengths."""
+
+    def test_e3_speedups_positive(self, tables):
+        for row in tables["E3"].rows:
+            for cell in row[1:]:
+                assert cell > 0
+
+    def test_e4_utilization_bounded(self, tables):
+        for row in tables["E4"].rows:
+            for cell in row[1:]:
+                assert 0.0 <= cell <= 1.0
+
+    def test_e5_useful_nearly_bounded_by_issued(self, tables):
+        # Statistics reset at warm-up: blocks prefetched before the
+        # reset can be claimed after it, so "useful" may exceed
+        # "issued" by up to roughly the prefetch storage capacity.
+        for row in tables["E5"].rows:
+            _, _, issued, useful, _, accuracy, coverage = row
+            assert useful <= issued + 64
+            assert accuracy >= 0.0
+            assert 0.0 <= coverage <= 1.0
+
+    def test_e6_depth_one_is_baseline(self, tables):
+        first = tables["E6"].rows[0]
+        assert first[0] == 1
+        for cell in first[1:]:
+            # With no lookahead FDIP cannot prefetch: speedup ~ 1.
+            assert cell == pytest.approx(1.0, abs=0.06)
+
+    def test_e6_deeper_never_much_worse(self, tables):
+        rows = tables["E6"].rows
+        for col in range(1, len(rows[0])):
+            assert rows[-1][col] >= rows[0][col] - 0.05
+
+    def test_e12_fractions_sum_to_one(self, tables):
+        for row in tables["E12"].rows:
+            assert sum(row[3:6]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_e14_breakdown_sums_to_one(self, tables):
+        for row in tables["E14"].rows:
+            assert sum(row[2:]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_e16_ftb_miss_rate_monotone_nonincreasing(self, tables):
+        rows = tables["E16"].rows
+        # Columns 2 and 4 are ftb-miss rates; growing the FTB must not
+        # increase them (tolerating small LRU noise).
+        for col in (2, 4):
+            for above, below in zip(rows, rows[1:]):
+                assert below[col] <= above[col] * 1.15
+
+    def test_e17_combined_not_much_worse_than_fdip(self, tables):
+        for row in tables["E17"].rows:
+            _, nlp, fdip, combined = row
+            assert combined >= fdip * 0.93
+
+    def test_runs_are_shared_across_experiments(self, runner, tables):
+        # The memoizing runner should have far fewer simulation points
+        # than the naive sum over experiments.
+        assert runner.runs_performed < 400

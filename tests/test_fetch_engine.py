@@ -1,0 +1,229 @@
+"""Fetch engine: delivery, stalls, wrong-path handling."""
+
+import pytest
+
+from repro.config import CacheGeometry, CoreConfig, MemoryConfig
+from repro.cpu import Backend
+from repro.frontend import FetchEngine, FetchTargetQueue, FTQEntry
+from repro.memory import MemorySystem
+from repro.prefetch import NonePrefetcher
+from tests.conftest import TraceBuilder
+
+BASE = 0x40_0000   # 32-byte aligned
+
+
+class Harness:
+    def __init__(self, trace, window_size=64, mshrs=4):
+        self.trace = trace
+        core = CoreConfig(fetch_width=8, issue_width=8,
+                          window_size=window_size, pipeline_depth=2,
+                          branch_resolve_latency=3)
+        memory_config = MemoryConfig(
+            icache=CacheGeometry(size_bytes=1024, assoc=2, block_bytes=32),
+            l2=CacheGeometry(size_bytes=64 * 1024, assoc=4, block_bytes=32),
+            l2_hit_latency=8, memory_latency=40, bus_transfer_cycles=4,
+            mshr_entries=mshrs)
+        self.memory = MemorySystem(memory_config)
+        self.prefetcher = NonePrefetcher(self.memory)
+        self.ftq = FetchTargetQueue(8)
+        self.backend = Backend(core)
+        self.resolutions: list[tuple[FTQEntry, int]] = []
+        self.engine = FetchEngine(
+            trace, self.memory, self.ftq, self.backend, self.prefetcher,
+            core, lambda entry, cycle: self.resolutions.append(
+                (entry, cycle)))
+
+    def warm(self, *bids):
+        for bid in bids:
+            self.memory.l1i.fill(bid)
+
+    def tick(self, cycle):
+        self.memory.begin_cycle(cycle)
+        self.engine.tick(cycle)
+
+
+def entry(seq, start, n, first_index=0, **kw) -> FTQEntry:
+    return FTQEntry(seq=seq, start=start, end=start + 4 * n,
+                    predicted_next=start + 4 * n, first_index=first_index,
+                    n_records=n, **kw)
+
+
+class TestDelivery:
+    def test_aligned_block_delivered_in_one_cycle(self):
+        trace = TraceBuilder(BASE).seq(8).build()
+        h = Harness(trace)
+        h.warm(BASE // 32)
+        h.ftq.push(entry(1, BASE, 8))
+        h.tick(1)
+        assert h.backend.occupancy == 8
+        assert h.ftq.empty
+
+    def test_straddling_blocks_takes_two_cycles(self):
+        start = BASE + 16            # halfway into a block
+        trace = TraceBuilder(start).seq(8).build()
+        h = Harness(trace)
+        h.warm(start // 32, start // 32 + 1)
+        h.ftq.push(entry(1, start, 8))
+        h.tick(1)
+        assert h.backend.occupancy == 4   # up to the block boundary
+        h.tick(2)
+        assert h.backend.occupancy == 8
+        assert h.ftq.empty
+
+    def test_miss_blocks_until_fill(self):
+        trace = TraceBuilder(BASE).seq(8).build()
+        h = Harness(trace)
+        h.ftq.push(entry(1, BASE, 8))
+        h.tick(1)                       # miss issued; ready at 1+4+40
+        assert h.backend.occupancy == 0
+        h.tick(20)
+        assert h.backend.occupancy == 0
+        h.tick(45)                      # fill applied; refetch hits
+        assert h.backend.occupancy == 8
+        assert h.engine.stats.get("demand_misses") == 1
+
+    def test_window_backpressure(self):
+        trace = TraceBuilder(BASE).seq(16).build()
+        h = Harness(trace, window_size=8)
+        h.warm(BASE // 32, BASE // 32 + 1)
+        h.ftq.push(entry(1, BASE, 16))
+        h.tick(1)
+        assert h.backend.occupancy == 8
+        h.tick(2)                       # window full: stall
+        assert h.backend.occupancy == 8
+        assert h.engine.stats.get("window_stall_cycles") == 1
+        h.backend.retire(100)
+        h.tick(3)
+        assert h.ftq.empty
+
+    def test_empty_ftq_idles(self):
+        trace = TraceBuilder(BASE).seq(4).build()
+        h = Harness(trace)
+        h.tick(1)
+        assert h.engine.stats.get("ftq_empty_cycles") == 1
+
+
+class TestWrongPath:
+    def test_wrong_path_instrs_discarded(self):
+        trace = TraceBuilder(BASE).seq(8).build()
+        h = Harness(trace)
+        h.warm(BASE // 32)
+        h.ftq.push(entry(1, BASE, 8, wrong_path=True))
+        h.tick(1)
+        assert h.backend.occupancy == 0
+        assert h.engine.stats.get("wrong_path_instrs") == 8
+        assert h.ftq.empty
+
+    def test_wrong_path_misses_pollute_cache(self):
+        trace = TraceBuilder(BASE).seq(8).build()
+        h = Harness(trace)
+        h.ftq.push(entry(1, BASE, 8, wrong_path=True))
+        h.tick(1)
+        h.tick(50)   # fill lands
+        assert h.memory.l1i.contains(BASE // 32)
+
+    def test_squash_clears_pending_miss_wait(self):
+        trace = TraceBuilder(BASE).seq(8).build()
+        h = Harness(trace)
+        h.ftq.push(entry(1, BASE, 8, wrong_path=True))
+        h.tick(1)
+        assert h.engine.stalled_on_miss
+        h.engine.squash()
+        assert not h.engine.stalled_on_miss
+
+
+class TestResolutionCallback:
+    def test_fired_when_mispredicted_entry_completes(self):
+        trace = TraceBuilder(BASE).seq(8).build()
+        h = Harness(trace)
+        h.warm(BASE // 32)
+        mispredicted = entry(1, BASE, 8, mispredict=True)
+        h.ftq.push(mispredicted)
+        h.tick(5)
+        assert len(h.resolutions) == 1
+        resolved, cycle = h.resolutions[0]
+        assert resolved is mispredicted
+        assert cycle == 5 + 2 + 3   # pipeline_depth + resolve latency
+
+    def test_not_fired_for_correct_entries(self):
+        trace = TraceBuilder(BASE).seq(8).build()
+        h = Harness(trace)
+        h.warm(BASE // 32)
+        h.ftq.push(entry(1, BASE, 8))
+        h.tick(1)
+        assert h.resolutions == []
+
+
+class TestMultiAccessFetch:
+    def make_harness(self, trace, accesses):
+        from repro.config import CacheGeometry, CoreConfig, MemoryConfig
+        from repro.cpu import Backend
+        from repro.frontend import FetchEngine, FetchTargetQueue
+        from repro.memory import MemorySystem
+        from repro.prefetch import NonePrefetcher
+
+        core = CoreConfig(fetch_width=8, issue_width=8, window_size=64,
+                          pipeline_depth=2, branch_resolve_latency=3,
+                          fetch_accesses_per_cycle=accesses)
+        memory_config = MemoryConfig(
+            icache=CacheGeometry(size_bytes=1024, assoc=2, block_bytes=32),
+            l2=CacheGeometry(size_bytes=64 * 1024, assoc=4,
+                             block_bytes=32),
+            l2_hit_latency=8, memory_latency=40, bus_transfer_cycles=4,
+            mshr_entries=4, icache_tag_ports=accesses)
+        h = Harness.__new__(Harness)
+        h.trace = trace
+        h.memory = MemorySystem(memory_config)
+        h.prefetcher = NonePrefetcher(h.memory)
+        h.ftq = FetchTargetQueue(8)
+        h.backend = Backend(core)
+        h.resolutions = []
+        h.engine = FetchEngine(
+            trace, h.memory, h.ftq, h.backend, h.prefetcher, core,
+            lambda e, c: h.resolutions.append((e, c)))
+        return h
+
+    def test_two_accesses_cross_block_boundary(self):
+        start = BASE + 16
+        trace = TraceBuilder(start).seq(8).build()
+        h = self.make_harness(trace, accesses=2)
+        h.memory.l1i.fill(start // 32)
+        h.memory.l1i.fill(start // 32 + 1)
+        h.ftq.push(entry(1, start, 8))
+        h.memory.begin_cycle(1)
+        h.engine.tick(1)
+        # Both halves fetched in one cycle (vs two with one access).
+        assert h.backend.occupancy == 8
+        assert h.ftq.empty
+
+    def test_budget_still_caps_width(self):
+        trace = TraceBuilder(BASE).seq(16).build()
+        h = self.make_harness(trace, accesses=2)
+        h.memory.l1i.fill(BASE // 32)
+        h.memory.l1i.fill(BASE // 32 + 1)
+        h.ftq.push(entry(1, BASE, 16))
+        h.memory.begin_cycle(1)
+        h.engine.tick(1)
+        # fetch_width=8 caps delivery even though 2 accesses available.
+        assert h.backend.occupancy == 8
+
+    def test_two_short_blocks_in_one_cycle(self):
+        trace = TraceBuilder(BASE).seq(8).build()
+        h = self.make_harness(trace, accesses=2)
+        h.memory.l1i.fill(BASE // 32)
+        h.ftq.push(entry(1, BASE, 3))
+        h.ftq.push(entry(2, BASE + 12, 3, first_index=3))
+        h.memory.begin_cycle(1)
+        h.engine.tick(1)
+        assert h.backend.occupancy == 6
+        assert h.ftq.empty
+
+    def test_active_cycles_counted_once_per_cycle(self):
+        trace = TraceBuilder(BASE).seq(8).build()
+        h = self.make_harness(trace, accesses=2)
+        h.memory.l1i.fill(BASE // 32)
+        h.ftq.push(entry(1, BASE, 3))
+        h.ftq.push(entry(2, BASE + 12, 3, first_index=3))
+        h.memory.begin_cycle(1)
+        h.engine.tick(1)
+        assert h.engine.stats.get("active_cycles") == 1

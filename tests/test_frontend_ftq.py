@@ -1,0 +1,87 @@
+"""Fetch target queue behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend import FetchTargetQueue, FTQEntry
+
+
+def entry(seq, start=0x40_0000, n=4, wrong_path=False, **kw) -> FTQEntry:
+    return FTQEntry(seq=seq, start=start, end=start + 4 * n,
+                    predicted_next=start + 4 * n, wrong_path=wrong_path,
+                    **kw)
+
+
+class TestFtqBasics:
+    def test_fifo_order(self):
+        ftq = FetchTargetQueue(4)
+        ftq.push(entry(1))
+        ftq.push(entry(2, start=0x40_1000))
+        assert ftq.head().seq == 1
+        assert ftq.pop_head().seq == 1
+        assert ftq.head().seq == 2
+
+    def test_full_and_empty(self):
+        ftq = FetchTargetQueue(2)
+        assert ftq.empty
+        ftq.push(entry(1))
+        ftq.push(entry(2))
+        assert ftq.full
+        with pytest.raises(SimulationError):
+            ftq.push(entry(3))
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            FetchTargetQueue(2).pop_head()
+
+    def test_prefetch_candidates_skip_head(self):
+        ftq = FetchTargetQueue(4)
+        ftq.push(entry(1))
+        ftq.push(entry(2))
+        ftq.push(entry(3))
+        assert [e.seq for e in ftq.prefetch_candidates()] == [2, 3]
+
+    def test_prefetch_candidates_skip_scanned(self):
+        ftq = FetchTargetQueue(4)
+        ftq.push(entry(1))
+        scanned = entry(2)
+        scanned.prefetch_scanned = True
+        ftq.push(scanned)
+        ftq.push(entry(3))
+        assert [e.seq for e in ftq.prefetch_candidates()] == [3]
+
+    def test_clear_requires_wrong_path_only(self):
+        ftq = FetchTargetQueue(4)
+        ftq.push(entry(1, wrong_path=True))
+        ftq.push(entry(2, wrong_path=True))
+        assert ftq.clear() == 2
+        assert ftq.empty
+
+    def test_clear_with_correct_path_entry_is_a_bug(self):
+        ftq = FetchTargetQueue(4)
+        ftq.push(entry(1))
+        with pytest.raises(SimulationError):
+            ftq.clear()
+
+    def test_depth_validated(self):
+        with pytest.raises(SimulationError):
+            FetchTargetQueue(0)
+
+
+class TestFtqEntry:
+    def test_instruction_count(self):
+        e = entry(1, n=6)
+        assert e.n_instrs == 6
+
+    def test_fetch_progress(self):
+        e = entry(1, n=4)
+        assert not e.fully_fetched
+        assert e.next_fetch_pc == e.start
+        e.fetch_offset = 16
+        assert e.fully_fetched
+
+    def test_repr_tags(self):
+        assert "[W]" in repr(entry(1, wrong_path=True))
+        e = entry(2)
+        e.mispredict = True
+        assert "[M]" in repr(e)

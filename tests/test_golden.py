@@ -1,0 +1,81 @@
+"""Golden regression values.
+
+The simulator is fully deterministic, so these exact counter values pin
+the current model's behaviour.  If a change breaks them *intentionally*
+(a model fix or feature), regenerate the table with the snippet in the
+module docstring below and say so in the commit; if it breaks them
+unintentionally, you just caught a behavioural regression.
+
+Regenerate::
+
+    python -c "
+    from repro.cfg import ProgramShape, generate_program
+    from repro.trace import Trace
+    from repro import SimConfig, PrefetchConfig, run_simulation
+    shape = ProgramShape(target_instrs=2048, n_functions=16,
+                         n_levels=5, dispatcher_fanout=4)
+    prog = generate_program(shape, seed=42, name='small')
+    tr = Trace.from_program(prog, 10000, seed=7)
+    for kind, fm in [('none','none'),('nlp','none'),('stream','none'),
+                     ('fdip','enqueue'),('fdip','ideal'),
+                     ('fdip_nlp','enqueue')]:
+        r = run_simulation(tr, SimConfig(prefetch=PrefetchConfig(
+            kind=kind, filter_mode=fm)))
+        print(kind, fm, r.cycles, r.mispredicts, r.demand_misses,
+              r.prefetches_issued)
+    "
+"""
+
+import pytest
+
+from repro import PrefetchConfig, SimConfig, run_simulation
+from repro.cfg import ProgramShape, generate_program
+from repro.trace import Trace
+
+GOLDEN = {
+    ("none", "none"): dict(cycles=9749, mispredicts=412,
+                           demand_misses=66, prefetches_issued=0),
+    ("nlp", "none"): dict(cycles=8874, mispredicts=412,
+                          demand_misses=18, prefetches_issued=62),
+    ("stream", "none"): dict(cycles=8709, mispredicts=412,
+                             demand_misses=28, prefetches_issued=70),
+    ("fdip", "enqueue"): dict(cycles=7992, mispredicts=412,
+                              demand_misses=7, prefetches_issued=299),
+    ("fdip", "ideal"): dict(cycles=7989, mispredicts=412,
+                            demand_misses=5, prefetches_issued=168),
+    ("fdip_nlp", "enqueue"): dict(cycles=8005, mispredicts=412,
+                                  demand_misses=8,
+                                  prefetches_issued=303),
+}
+
+
+@pytest.fixture(scope="module")
+def golden_trace():
+    shape = ProgramShape(target_instrs=2048, n_functions=16,
+                         n_levels=5, dispatcher_fanout=4)
+    program = generate_program(shape, seed=42, name="small")
+    return Trace.from_program(program, 10000, seed=7)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_golden_counters(golden_trace, key):
+    kind, filter_mode = key
+    result = run_simulation(golden_trace, SimConfig(
+        prefetch=PrefetchConfig(kind=kind, filter_mode=filter_mode)))
+    expected = GOLDEN[key]
+    measured = dict(cycles=result.cycles,
+                    mispredicts=result.mispredicts,
+                    demand_misses=result.demand_misses,
+                    prefetches_issued=result.prefetches_issued)
+    assert measured == expected
+
+
+def test_golden_trace_identity(golden_trace):
+    """The trace itself must be byte-stable across versions."""
+    assert len(golden_trace) == 10000
+    assert golden_trace[0].pc == 0x40_0000
+    # Pin structural facts rather than a full hash dump.
+    taken = sum(1 for record in golden_trace if record.taken)
+    assert taken == 1651
+    checksum = sum(record.pc for record in golden_trace) & 0xFFFFFFFF
+    assert checksum == 0xC75D54E0

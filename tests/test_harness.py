@@ -1,0 +1,111 @@
+"""Harness: technique catalog, runner memoization, experiment tables."""
+
+import pytest
+
+from repro.config import FilterMode, PrefetcherKind, SimConfig
+from repro.errors import ConfigError
+from repro.harness import (
+    EXPERIMENTS,
+    Runner,
+    TECHNIQUE_ORDER,
+    geomean,
+    run_experiment,
+    technique_config,
+)
+
+
+class TestTechniqueConfig:
+    def test_all_named_techniques_resolve(self):
+        for name in TECHNIQUE_ORDER:
+            config = technique_config(name)
+            assert isinstance(config, SimConfig)
+
+    def test_fdip_variants_set_filter(self):
+        assert technique_config("fdip_ideal").prefetch.filter_mode == \
+            FilterMode.IDEAL
+        assert technique_config("fdip_nofilter").prefetch.filter_mode == \
+            FilterMode.NONE
+
+    def test_none_technique(self):
+        assert technique_config("none").prefetch.kind == \
+            PrefetcherKind.NONE
+
+    def test_base_preserved(self):
+        base = SimConfig(warmup_instructions=123)
+        config = technique_config("nlp", base)
+        assert config.warmup_instructions == 123
+        assert config.prefetch.kind == PrefetcherKind.NLP
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            technique_config("magic")
+
+
+class TestGeomean:
+    def test_values(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestRunner:
+    def test_memoizes_runs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        runner = Runner(trace_length=3000)
+        config = technique_config("none")
+        first = runner.run("compress_like", config)
+        second = runner.run("compress_like", config)
+        assert first is second
+        assert runner.runs_performed == 1
+
+    def test_distinct_configs_not_conflated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        runner = Runner(trace_length=3000)
+        runner.run("compress_like", technique_config("none"))
+        runner.run("compress_like", technique_config("nlp"))
+        assert runner.runs_performed == 2
+
+    def test_warmup_injected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        runner = Runner(trace_length=3000, warmup_fraction=0.5)
+        result = runner.run("compress_like", technique_config("none"))
+        assert result.instructions <= 3000 - 1400
+
+    def test_speedup_of_same_config_is_one(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        runner = Runner(trace_length=3000)
+        config = technique_config("none")
+        assert runner.speedup("compress_like", config, config) == \
+            pytest.approx(1.0)
+
+
+class TestExperiments:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 23)}
+
+    def test_e1_static_table(self):
+        table = run_experiment("E1", Runner(trace_length=2000))
+        assert table.experiment_id == "E1"
+        assert len(table.rows) > 10
+        assert "parameter" in table.headers
+
+    def test_e2_runs_small(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        table = run_experiment("E2", Runner(trace_length=2500))
+        assert len(table.rows) == 10
+        formatted = table.formatted()
+        assert "E2" in formatted
+        assert "vortex_like" in formatted
+
+    def test_e12_distributions(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        table = run_experiment("E12", Runner(trace_length=2500))
+        assert len(table.rows) == 10
+        for row in table.rows:
+            fractions = row[3:6]
+            assert sum(fractions) == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,118 @@
+"""Idealized-mode features: perfect direction, direct-to-L1 fills."""
+
+import dataclasses
+
+import pytest
+
+from repro import FilterMode, PrefetchConfig, PrefetcherKind, SimConfig, \
+    run_simulation
+from repro.bpred import HybridPredictor, ReturnAddressStack
+from repro.config import FrontEndConfig, PredictorConfig
+from repro.frontend import FetchTargetQueue, PredictUnit
+from repro.ftb import FetchTargetBuffer
+from tests.conftest import TraceBuilder
+
+BASE = 0x40_0000
+
+
+def fdip_config(**frontend_overrides):
+    config = SimConfig(prefetch=PrefetchConfig(
+        kind=PrefetcherKind.FDIP, filter_mode=FilterMode.ENQUEUE))
+    if frontend_overrides:
+        config = config.replace(frontend=dataclasses.replace(
+            config.frontend, **frontend_overrides))
+    return config
+
+
+class TestPerfectDirection:
+    def _unit(self, trace, perfect):
+        config = FrontEndConfig(
+            ftq_depth=8, max_fetch_block=8, perfect_direction=perfect,
+            predictor=PredictorConfig(bimodal_entries=256,
+                                      gshare_entries=256, history_bits=6,
+                                      meta_entries=256, ras_depth=8,
+                                      ftb_sets=64, ftb_ways=2))
+        unit = PredictUnit(trace, FetchTargetBuffer(64, 2),
+                           HybridPredictor(256, 256, 6, 256),
+                           ReturnAddressStack(8), config)
+        return unit, FetchTargetQueue(8)
+
+    def _alternating_trace(self, iterations):
+        """A branch alternating T/NT every visit — hard for 2-bit
+        counters, trivial for the oracle."""
+        builder = TraceBuilder(BASE)
+        for i in range(iterations):
+            taken = i % 2 == 0
+            builder.seq(3).branch(BASE + 0x40, taken=taken)
+            if taken:
+                builder.seq(1).jump(BASE)      # at BASE+0x40
+            else:
+                builder.seq(1).jump(BASE)      # falls to BASE+0x10
+        builder.seq(2)
+        return builder.build()
+
+    def _count_mispredicts(self, unit, ftq):
+        mispredicts = 0
+        cycle = 0
+        while not unit.done and cycle < 1000:
+            cycle += 1
+            entry = unit.tick(cycle, ftq)
+            if entry is not None and entry.mispredict:
+                mispredicts += 1
+                while not ftq.empty:
+                    head = ftq.pop_head()
+                    if head is entry:
+                        break
+                ftq.clear()
+                unit.on_resolve(entry)
+            elif ftq.full:
+                while not ftq.empty:
+                    ftq.pop_head()
+        assert unit.done
+        return mispredicts
+
+    def test_oracle_removes_direction_mispredicts(self):
+        trace = self._alternating_trace(12)
+        real_unit, real_ftq = self._unit(trace, perfect=False)
+        real = self._count_mispredicts(real_unit, real_ftq)
+        oracle_unit, oracle_ftq = self._unit(trace, perfect=True)
+        oracle = self._count_mispredicts(oracle_unit, oracle_ftq)
+        assert oracle < real
+        assert oracle_unit.stats.get("mispredict_direction") == 0
+
+    def test_ftb_misses_still_occur_with_oracle(self):
+        trace = self._alternating_trace(4)
+        unit, ftq = self._unit(trace, perfect=True)
+        self._count_mispredicts(unit, ftq)
+        assert unit.stats.get("mispredict_ftb_miss") > 0
+
+
+class TestPerfectDirectionEndToEnd:
+    def test_ipc_not_worse_with_oracle(self, small_trace):
+        real = run_simulation(small_trace, fdip_config())
+        oracle = run_simulation(small_trace,
+                                fdip_config(perfect_direction=True))
+        assert oracle.ipc >= real.ipc
+        assert oracle.mispredicts <= real.mispredicts
+
+
+class TestDirectToL1Fills:
+    def test_direct_fill_bypasses_buffer(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.FDIP, filter_mode=FilterMode.ENQUEUE,
+            fill_l1_directly=True))
+        result = run_simulation(small_trace, config)
+        assert result.get("mem.prefetch_fills_to_l1") > 0
+        assert result.get("pbuf.fills") == 0
+
+    def test_buffered_fill_uses_buffer(self, small_trace):
+        result = run_simulation(small_trace, fdip_config())
+        assert result.get("pbuf.fills") > 0
+        assert result.get("mem.prefetch_fills_to_l1") == 0
+
+    def test_both_modes_complete(self, small_trace):
+        for direct in (False, True):
+            config = SimConfig(prefetch=PrefetchConfig(
+                kind=PrefetcherKind.FDIP, fill_l1_directly=direct))
+            result = run_simulation(small_trace, config)
+            assert result.instructions == len(small_trace)

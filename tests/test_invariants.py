@@ -1,0 +1,69 @@
+"""Post-run invariant checker."""
+
+import dataclasses
+
+import pytest
+
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro.sim import (
+    InvariantViolation,
+    assert_invariants,
+    check_invariants,
+)
+
+
+class TestOnRealRuns:
+    @pytest.mark.parametrize("kind", PrefetcherKind.ALL)
+    def test_every_prefetcher_consistent(self, small_trace, kind):
+        config = SimConfig(prefetch=PrefetchConfig(kind=kind),
+                           max_instructions=6000)
+        result = run_simulation(small_trace, config)
+        assert check_invariants(result) == []
+
+    def test_with_warmup(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.FDIP), warmup_instructions=3000)
+        result = run_simulation(small_trace, config)
+        assert check_invariants(result, warmed_up=True) == []
+
+    def test_wrong_path_off_consistent(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.FDIP), max_instructions=6000)
+        config = config.replace(frontend=dataclasses.replace(
+            config.frontend, model_wrong_path=False))
+        result = run_simulation(small_trace, config)
+        assert check_invariants(result) == []
+
+    def test_two_level_ftb_consistent(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.FDIP), max_instructions=6000)
+        predictor = dataclasses.replace(
+            config.frontend.predictor, ftb_sets=16, ftb_ways=2,
+            ftb_l2_sets=256)
+        config = config.replace(frontend=dataclasses.replace(
+            config.frontend, predictor=predictor))
+        result = run_simulation(small_trace, config)
+        assert check_invariants(result) == []
+
+
+class TestDetection:
+    def test_detects_corrupted_counters(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.NONE), max_instructions=3000)
+        result = run_simulation(small_trace, config)
+        result.counters["backend.retired"] += 1
+        violations = check_invariants(result)
+        assert violations
+
+    def test_assert_raises(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.NONE), max_instructions=3000)
+        result = run_simulation(small_trace, config)
+        result.counters["sim.squashes"] += 5
+        with pytest.raises(InvariantViolation):
+            assert_invariants(result)
+
+    def test_assert_passes_clean(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.NONE), max_instructions=3000)
+        assert_invariants(run_simulation(small_trace, config))

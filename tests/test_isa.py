@@ -1,0 +1,72 @@
+"""Synthetic ISA semantics."""
+
+import pytest
+
+from repro.isa import INSTRUCTION_BYTES, InstrKind, StaticInstr
+
+
+class TestInstrKind:
+    def test_control_partition(self):
+        control = {k for k in InstrKind if k.is_control}
+        assert control == {
+            InstrKind.BRANCH_COND, InstrKind.JUMP_DIRECT,
+            InstrKind.JUMP_INDIRECT, InstrKind.CALL,
+            InstrKind.CALL_INDIRECT, InstrKind.RETURN,
+        }
+
+    def test_only_branch_cond_is_conditional(self):
+        assert InstrKind.BRANCH_COND.is_conditional
+        for kind in InstrKind:
+            if kind != InstrKind.BRANCH_COND:
+                assert not kind.is_conditional
+
+    def test_unconditional_excludes_cond_and_noncontrol(self):
+        assert not InstrKind.BRANCH_COND.is_unconditional
+        assert not InstrKind.ALU.is_unconditional
+        assert InstrKind.JUMP_DIRECT.is_unconditional
+        assert InstrKind.RETURN.is_unconditional
+
+    def test_call_classification(self):
+        assert InstrKind.CALL.is_call
+        assert InstrKind.CALL_INDIRECT.is_call
+        assert not InstrKind.RETURN.is_call
+
+    def test_indirect_classification(self):
+        assert InstrKind.JUMP_INDIRECT.is_indirect
+        assert InstrKind.CALL_INDIRECT.is_indirect
+        assert InstrKind.RETURN.is_indirect
+        assert not InstrKind.JUMP_DIRECT.is_indirect
+        assert not InstrKind.CALL.is_indirect
+
+    def test_memory_classification(self):
+        assert InstrKind.LOAD.is_memory
+        assert InstrKind.STORE.is_memory
+        assert not InstrKind.ALU.is_memory
+
+    def test_kinds_fit_in_a_byte(self):
+        assert all(0 <= int(kind) < 256 for kind in InstrKind)
+
+
+class TestStaticInstr:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            StaticInstr(pc=0x1002, kind=InstrKind.ALU)
+
+    def test_target_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            StaticInstr(pc=0x1000, kind=InstrKind.JUMP_DIRECT,
+                        target=0x2001)
+
+    def test_next_sequential(self):
+        instr = StaticInstr(pc=0x1000, kind=InstrKind.ALU)
+        assert instr.next_sequential == 0x1000 + INSTRUCTION_BYTES
+
+    def test_repr_contains_target(self):
+        instr = StaticInstr(pc=0x1000, kind=InstrKind.JUMP_DIRECT,
+                            target=0x2000)
+        assert "0x2000" in repr(instr)
+
+    def test_frozen(self):
+        instr = StaticInstr(pc=0x1000, kind=InstrKind.ALU)
+        with pytest.raises(AttributeError):
+            instr.pc = 0x2000

@@ -1,0 +1,222 @@
+"""Memory substrate: block math, cache, bus, MSHRs, prefetch buffer."""
+
+import pytest
+
+from repro.config import CacheGeometry
+from repro.memory import (
+    Bus,
+    MshrFile,
+    PrefetchBuffer,
+    SetAssociativeCache,
+    block_base,
+    block_id,
+    blocks_spanning,
+)
+
+
+class TestBlockMath:
+    def test_block_id(self):
+        assert block_id(0, 32) == 0
+        assert block_id(31, 32) == 0
+        assert block_id(32, 32) == 1
+
+    def test_block_base(self):
+        assert block_base(3, 32) == 96
+
+    def test_blocks_spanning_within_one(self):
+        assert list(blocks_spanning(0, 32, 32)) == [0]
+        assert list(blocks_spanning(4, 28, 32)) == [0]
+
+    def test_blocks_spanning_straddle(self):
+        assert list(blocks_spanning(28, 40, 32)) == [0, 1]
+
+    def test_blocks_spanning_exact_boundary(self):
+        # [32, 64) is exactly block 1.
+        assert list(blocks_spanning(32, 64, 32)) == [1]
+
+    def test_blocks_spanning_empty(self):
+        assert list(blocks_spanning(10, 10, 32)) == []
+        assert list(blocks_spanning(20, 10, 32)) == []
+
+
+class TestSetAssociativeCache:
+    @pytest.fixture
+    def cache(self):
+        # 2 sets x 2 ways.
+        return SetAssociativeCache(
+            CacheGeometry(size_bytes=128, assoc=2, block_bytes=32))
+
+    def test_miss_then_fill_then_hit(self, cache):
+        assert not cache.lookup(0)
+        cache.fill(0)
+        assert cache.lookup(0)
+
+    def test_lru_eviction(self, cache):
+        # Set 0 holds even block ids (2 sets).
+        cache.fill(0)
+        cache.fill(2)
+        cache.lookup(0)        # 2 becomes LRU
+        victim = cache.fill(4)
+        assert victim == 2
+        assert cache.contains(0)
+        assert not cache.contains(2)
+
+    def test_fill_refreshes_recency(self, cache):
+        cache.fill(0)
+        cache.fill(2)
+        cache.fill(0)          # refresh, no eviction
+        victim = cache.fill(4)
+        assert victim == 2
+
+    def test_probe_does_not_touch_lru(self, cache):
+        cache.fill(0)
+        cache.fill(2)
+        cache.probe(0)         # must NOT refresh 0
+        victim = cache.fill(4)
+        assert victim == 0
+
+    def test_sets_are_independent(self, cache):
+        cache.fill(0)
+        cache.fill(1)   # odd -> other set
+        cache.fill(2)
+        cache.fill(4)   # evicts from set 0 only
+        assert cache.contains(1)
+
+    def test_invalidate(self, cache):
+        cache.fill(0)
+        assert cache.invalidate(0)
+        assert not cache.contains(0)
+        assert not cache.invalidate(0)
+
+    def test_flush_preserves_stats(self, cache):
+        cache.fill(0)
+        cache.lookup(0)
+        cache.flush()
+        assert cache.resident_blocks() == 0
+        assert cache.stats.get("hits") == 1
+
+    def test_stats_counts(self, cache):
+        cache.lookup(0)
+        cache.fill(0)
+        cache.lookup(0)
+        assert cache.stats.get("misses") == 1
+        assert cache.stats.get("hits") == 1
+        assert cache.stats.get("fills") == 1
+
+
+class TestBus:
+    def test_demand_queues_behind_busy(self):
+        bus = Bus(transfer_cycles=4)
+        first = bus.acquire_demand(10)
+        second = bus.acquire_demand(11)
+        assert first == 10
+        assert second == 14          # waits for the first transfer
+
+    def test_prefetch_requires_idle(self):
+        bus = Bus(transfer_cycles=4)
+        bus.acquire_demand(10)
+        assert bus.try_acquire_prefetch(12) is None
+        assert bus.try_acquire_prefetch(14) == 14
+
+    def test_prefetch_occupies(self):
+        bus = Bus(transfer_cycles=4)
+        assert bus.try_acquire_prefetch(0) == 0
+        assert bus.try_acquire_prefetch(2) is None
+        demand = bus.acquire_demand(2)
+        assert demand == 4            # demand queues behind prefetch
+
+    def test_utilization(self):
+        bus = Bus(transfer_cycles=4)
+        bus.acquire_demand(0)
+        assert bus.utilization(8) == pytest.approx(0.5)
+        assert bus.utilization(0) == 0.0
+
+    def test_rejects_bad_transfer(self):
+        with pytest.raises(ValueError):
+            Bus(transfer_cycles=0)
+
+    def test_wait_cycles_recorded(self):
+        bus = Bus(transfer_cycles=4)
+        bus.acquire_demand(0)
+        bus.acquire_demand(1)
+        assert bus.stats.get("demand_wait_cycles") == 3
+
+
+class TestMshrFile:
+    def test_allocate_and_release(self):
+        mshrs = MshrFile(capacity=2)
+        mshrs.allocate(5, ready_cycle=100, is_prefetch=False)
+        assert mshrs.get(5) is not None
+        released = mshrs.release(5)
+        assert released.bid == 5
+        assert mshrs.get(5) is None
+
+    def test_capacity_enforced(self):
+        mshrs = MshrFile(capacity=1)
+        mshrs.allocate(1, 10, is_prefetch=False)
+        assert mshrs.full
+        with pytest.raises(OverflowError):
+            mshrs.allocate(2, 10, is_prefetch=False)
+
+    def test_duplicate_allocation_rejected(self):
+        mshrs = MshrFile(capacity=4)
+        mshrs.allocate(1, 10, is_prefetch=False)
+        with pytest.raises(KeyError):
+            mshrs.allocate(1, 12, is_prefetch=True)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            MshrFile(capacity=2).release(9)
+
+    def test_merge_marks_entry_and_counts_late(self):
+        mshrs = MshrFile(capacity=2)
+        mshrs.allocate(1, 10, is_prefetch=True)
+        entry = mshrs.merge_demand(1)
+        assert entry.demand_merged
+        assert mshrs.stats.get("late_prefetch_merges") == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MshrFile(capacity=0)
+
+
+class TestPrefetchBuffer:
+    def test_fifo_eviction(self):
+        buffer = PrefetchBuffer(2)
+        buffer.insert(1)
+        buffer.insert(2)
+        victim = buffer.insert(3)
+        assert victim == 1
+        assert buffer.resident() == [2, 3]
+
+    def test_claim_removes(self):
+        buffer = PrefetchBuffer(4)
+        buffer.insert(7)
+        assert buffer.claim(7)
+        assert not buffer.contains(7)
+        assert not buffer.claim(7)
+        assert buffer.stats.get("useful_hits") == 1
+
+    def test_duplicate_insert_no_eviction(self):
+        buffer = PrefetchBuffer(2)
+        buffer.insert(1)
+        buffer.insert(2)
+        assert buffer.insert(1) is None
+        assert len(buffer) == 2
+
+    def test_eviction_counts_unused(self):
+        buffer = PrefetchBuffer(1)
+        buffer.insert(1, wrong_path=True)
+        buffer.insert(2)
+        assert buffer.stats.get("evicted_unused") == 1
+        assert buffer.stats.get("evicted_unused_wrong_path") == 1
+
+    def test_flush(self):
+        buffer = PrefetchBuffer(4)
+        buffer.insert(1)
+        buffer.flush()
+        assert len(buffer) == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(0)

@@ -1,0 +1,148 @@
+"""Two-level FTB structure and its prediction-unit integration."""
+
+import dataclasses
+
+import pytest
+
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro.bpred import HybridPredictor, ReturnAddressStack
+from repro.config import FrontEndConfig, PredictorConfig
+from repro.errors import ConfigError
+from repro.frontend import FetchTargetQueue, PredictUnit
+from repro.ftb import HIT, L2, MISS, FetchTargetBuffer, FTBEntry, \
+    TwoLevelFTB
+from repro.isa import InstrKind
+from tests.conftest import TraceBuilder
+
+BASE = 0x40_0000
+
+
+def entry(start, n=4, target=0x40_8000):
+    return FTBEntry(start=start, fallthrough=start + 4 * n,
+                    target=target, kind=InstrKind.JUMP_DIRECT)
+
+
+class TestTwoLevelStructure:
+    def test_install_trains_both_levels(self):
+        ftb = TwoLevelFTB(4, 2, 16, 4, l2_latency=3)
+        ftb.install(entry(BASE))
+        assert ftb.l1.resident_entries() == 1
+        assert ftb.l2.resident_entries() == 1
+
+    def test_l1_hit(self):
+        ftb = TwoLevelFTB(4, 2, 16, 4, l2_latency=3)
+        ftb.install(entry(BASE))
+        level, found = ftb.probe(BASE)
+        assert level == HIT
+        assert found.target == 0x40_8000
+
+    def test_l2_hit_promotes(self):
+        ftb = TwoLevelFTB(1, 1, 16, 4, l2_latency=3)
+        ftb.install(entry(BASE))
+        ftb.install(entry(BASE + 0x100))   # evicts BASE from 1-entry L1
+        level, found = ftb.probe(BASE)
+        assert level == L2
+        assert found is not None
+        # Promotion: next probe is an L1 hit.
+        level, _ = ftb.probe(BASE)
+        assert level == HIT
+
+    def test_miss(self):
+        ftb = TwoLevelFTB(4, 2, 16, 4, l2_latency=3)
+        level, found = ftb.probe(BASE)
+        assert level == MISS
+        assert found is None
+
+    def test_latency_validated(self):
+        with pytest.raises(ConfigError):
+            TwoLevelFTB(4, 2, 16, 4, l2_latency=0)
+
+    def test_monolithic_probe_never_says_l2(self):
+        ftb = FetchTargetBuffer(4, 2)
+        ftb.install(entry(BASE))
+        assert ftb.probe(BASE)[0] == "hit"
+        assert ftb.probe(BASE + 0x40)[0] == "miss"
+
+
+class TestPredictUnitIntegration:
+    def make_unit(self, trace):
+        config = FrontEndConfig(
+            ftq_depth=8, max_fetch_block=8,
+            predictor=PredictorConfig(
+                bimodal_entries=256, gshare_entries=256, history_bits=6,
+                meta_entries=256, ras_depth=8, ftb_sets=64, ftb_ways=2))
+        ftb = TwoLevelFTB(1, 1, 64, 4, l2_latency=4)
+        unit = PredictUnit(trace, ftb, HybridPredictor(256, 256, 6, 256),
+                           ReturnAddressStack(8), config)
+        return unit, ftb, FetchTargetQueue(8)
+
+    def loop_trace(self, iterations):
+        builder = TraceBuilder(BASE)
+        for _ in range(iterations):
+            builder.seq(3).jump(BASE)
+            builder.seq(3).jump(BASE + 0x200)  # unreachable filler
+            builder.records = builder.records[:-4]
+            builder.pc = BASE
+        builder.seq(4)
+        from repro.trace import Trace
+        return Trace(builder.records, name="loop")
+
+    def test_l2_hit_stalls_for_latency(self, tb):
+        # Build a trace that revisits BASE after the entry has been
+        # evicted from the tiny (1-entry) L1 FTB.
+        trace = (tb.seq(3).jump(BASE + 0x100)      # block A (trains A)
+                   .seq(3).jump(BASE)              # block B (evicts A)
+                   .seq(3).jump(BASE + 0x100)      # block A again: L2 hit
+                   .seq(3).jump(BASE)
+                   .seq(4)).build()
+        unit, ftb, ftq = self.make_unit(trace)
+
+        cycle = 0
+        stalls_before = 0
+        while not unit.done and cycle < 300:
+            cycle += 1
+            produced = unit.tick(cycle, ftq)
+            if produced is not None and produced.mispredict:
+                while not ftq.empty:
+                    head = ftq.pop_head()
+                    if head is produced:
+                        break
+                ftq.clear()
+                unit.on_resolve(produced)
+            elif ftq.full:
+                while not ftq.empty:
+                    ftq.pop_head()
+        del stalls_before
+        assert unit.done
+        assert unit.stats.get("ftb_l2_promotions") >= 1
+        assert unit.stats.get("ftb_l2_stall_cycles") >= \
+            3 * unit.stats.get("ftb_l2_promotions")
+
+    def test_end_to_end_two_level_completes(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.FDIP))
+        predictor = dataclasses.replace(
+            config.frontend.predictor, ftb_sets=16, ftb_ways=2,
+            ftb_l2_sets=256, ftb_l2_latency=3)
+        config = config.replace(frontend=dataclasses.replace(
+            config.frontend, predictor=predictor))
+        result = run_simulation(small_trace, config)
+        assert result.instructions == len(small_trace)
+        assert result.get("ftb2.installs") > 0
+
+    def test_two_level_between_small_and_big(self, small_trace):
+        def run_with(sets, l2_sets):
+            config = SimConfig(prefetch=PrefetchConfig(
+                kind=PrefetcherKind.FDIP))
+            predictor = dataclasses.replace(
+                config.frontend.predictor, ftb_sets=sets, ftb_ways=2,
+                ftb_l2_sets=l2_sets, ftb_l2_latency=3)
+            config = config.replace(frontend=dataclasses.replace(
+                config.frontend, predictor=predictor))
+            return run_simulation(small_trace, config)
+
+        small = run_with(4, 0)
+        two_level = run_with(4, 512)
+        big = run_with(512, 0)
+        assert two_level.ipc >= small.ipc * 0.98
+        assert two_level.ipc <= big.ipc * 1.02

@@ -1,0 +1,105 @@
+"""Result serialization and the persistent result store."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness import ResultStore, Runner, technique_config
+from repro.sim import (
+    SimResult,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+
+
+def make_result(**overrides):
+    defaults = dict(
+        name="w", prefetcher="fdip", cycles=1000, instructions=2000,
+        mispredicts=10, bpred_accuracy=0.9, ftq_mean_occupancy=5.0,
+        demand_misses=40, demand_merges=10, bus_utilization=0.25,
+        l2_misses=5, prefetches_issued=100, prefetches_useful=50,
+        prefetches_late=10, counters={"a.b": 3},
+        ftq_occupancy_hist={0: 10, 4: 20},
+        fetch_block_hist={6: 30},
+        prefetch_lead_hist={12: 4},
+    )
+    defaults.update(overrides)
+    return SimResult(**defaults)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        original = make_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored == original
+
+    def test_json_roundtrip_preserves_int_keys(self):
+        original = make_result()
+        restored = result_from_json(result_to_json(original))
+        assert restored.ftq_occupancy_hist == {0: 10, 4: 20}
+        assert restored.prefetch_lead_hist == {12: 4}
+        assert restored == original
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ReproError):
+            result_from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ReproError):
+            result_from_dict({"name": "w"})
+
+
+class TestResultStore:
+    def test_store_and_load(self, tmp_path):
+        store = ResultStore(tmp_path)
+        config = technique_config("none")
+        result = make_result()
+        store.store("w", config, 1000, 1, result)
+        loaded = store.load("w", config, 1000, 1)
+        assert loaded == result
+
+    def test_distinct_identities_distinct_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = make_result()
+        store.store("w", technique_config("none"), 1000, 1, result)
+        assert store.load("w", technique_config("nlp"), 1000, 1) is None
+        assert store.load("w", technique_config("none"), 2000, 1) is None
+        assert store.load("x", technique_config("none"), 1000, 1) is None
+
+    def test_corrupt_entry_ignored_and_removed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        config = technique_config("none")
+        store.store("w", config, 1000, 1, make_result())
+        victim = next(tmp_path.glob("*.result.json"))
+        victim.write_text("garbage")
+        assert store.load("w", config, 1000, 1) is None
+        assert not victim.exists()
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("w", technique_config("none"), 1000, 1, make_result())
+        assert store.clear() == 1
+        assert store.clear() == 0
+
+
+class TestRunnerPersistence:
+    def test_second_runner_reuses_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+        config = technique_config("none")
+        first = Runner(trace_length=2500,
+                       persist_dir=str(tmp_path / "results"))
+        a = first.run("compress_like", config)
+        second = Runner(trace_length=2500,
+                        persist_dir=str(tmp_path / "results"))
+        b = second.run("compress_like", config)
+        assert a == b
+        assert second.runs_performed == 1   # loaded, then memoized
+
+    def test_env_var_activates_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+        monkeypatch.setenv("REPRO_RESULT_CACHE",
+                           str(tmp_path / "results"))
+        runner = Runner(trace_length=2500)
+        runner.run("compress_like", technique_config("none"))
+        assert list((tmp_path / "results").glob("*.result.json"))

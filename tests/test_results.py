@@ -1,0 +1,82 @@
+"""SimResult derived metrics."""
+
+import pytest
+
+from repro.sim import SimResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        name="w", prefetcher="fdip", cycles=1000, instructions=2000,
+        mispredicts=10, bpred_accuracy=0.9, ftq_mean_occupancy=5.0,
+        demand_misses=40, demand_merges=10, bus_utilization=0.25,
+        l2_misses=5, prefetches_issued=100, prefetches_useful=50,
+        prefetches_late=10,
+    )
+    defaults.update(overrides)
+    return SimResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        assert make_result().ipc == pytest.approx(2.0)
+
+    def test_ipc_zero_cycles(self):
+        assert make_result(cycles=0).ipc == 0.0
+
+    def test_mpki_includes_merges(self):
+        result = make_result()
+        assert result.l1i_mpki == pytest.approx(1000 * 50 / 2000)
+
+    def test_mispredicts_per_ki(self):
+        assert make_result().mispredicts_per_ki == pytest.approx(5.0)
+
+    def test_prefetch_accuracy(self):
+        assert make_result().prefetch_accuracy == pytest.approx(0.5)
+
+    def test_prefetch_accuracy_no_prefetches(self):
+        assert make_result(prefetches_issued=0).prefetch_accuracy == 0.0
+
+    def test_prefetch_coverage(self):
+        result = make_result()
+        assert result.prefetch_coverage == pytest.approx(50 / 100)
+
+    def test_coverage_empty(self):
+        result = make_result(prefetches_useful=0, demand_misses=0,
+                             demand_merges=0)
+        assert result.prefetch_coverage == 0.0
+
+    def test_speedup_over(self):
+        fast = make_result(cycles=500)
+        slow = make_result(cycles=1000)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_over_zero_baseline(self):
+        assert make_result().speedup_over(make_result(cycles=0)) == 0.0
+
+    def test_counter_get_default(self):
+        assert make_result().get("absent.counter") == 0
+
+    def test_counter_get_present(self):
+        result = make_result(counters={"fdip.issued": 7})
+        assert result.get("fdip.issued") == 7
+
+    def test_repr_readable(self):
+        text = repr(make_result())
+        assert "ipc=2.000" in text
+
+
+class TestSummary:
+    def test_summary_contains_headline_metrics(self):
+        result = make_result()
+        text = result.summary()
+        assert "IPC 2.000" in text
+        assert "MPKI" in text
+        assert "prefetches 100 issued" in text
+
+    def test_summary_omits_prefetch_block_when_none(self):
+        result = make_result(prefetches_issued=0)
+        assert "issued" not in result.summary()
+
+    def test_summary_is_multiline(self):
+        assert len(make_result().summary().splitlines()) >= 4

@@ -1,0 +1,70 @@
+"""Table/CSV/JSON report formatting."""
+
+import json
+
+import pytest
+
+from repro.stats import format_table, format_value, rows_to_csv, rows_to_json
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(1.23456, precision=2) == "1.23"
+
+    def test_bool_not_formatted_as_number(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int_verbatim(self):
+        assert format_value(42) == "42"
+
+    def test_string_verbatim(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_header_and_separator(self):
+        text = format_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["1", "2"]
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["name", "value"], [["x", 1], ["longer", 22]])
+        data_lines = text.splitlines()[2:]
+        # The numeric column is right aligned: last characters line up.
+        assert data_lines[0].endswith(" 1")
+        assert data_lines[1].endswith("22")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_precision_applied(self):
+        text = format_table(["v"], [[1.23456]], precision=1)
+        assert "1.2" in text
+        assert "1.23" not in text
+
+
+class TestCsvJson:
+    def test_csv_roundtrip_header(self):
+        csv_text = rows_to_csv(["a", "b"], [[1, "x"]])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_json_records(self):
+        payload = json.loads(rows_to_json(["a", "b"], [[1, 2], [3, 4]]))
+        assert payload == [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+
+    def test_json_empty(self):
+        assert json.loads(rows_to_json(["a"], [])) == []

@@ -1,0 +1,63 @@
+"""Trace diff utilities."""
+
+from repro.isa import InstrKind
+from repro.trace import Trace, TraceRecord, diff_traces, traces_equal
+from tests.conftest import TraceBuilder
+
+
+def simple_trace(n=10):
+    return TraceBuilder().seq(n).build()
+
+
+class TestTracesEqual:
+    def test_identical(self):
+        assert traces_equal(simple_trace(), simple_trace())
+
+    def test_metadata_ignored(self):
+        a = Trace(simple_trace().records, name="a", seed=1)
+        b = Trace(simple_trace().records, name="b", seed=2)
+        assert traces_equal(a, b)
+
+    def test_different(self):
+        assert not traces_equal(simple_trace(5), simple_trace(6))
+
+
+class TestDiffTraces:
+    def test_identical_diff(self):
+        diff = diff_traces(simple_trace(), simple_trace())
+        assert diff.identical
+        assert not diff            # falsy when identical
+        assert diff.detail == "identical"
+        assert diff.first_divergence is None
+
+    def test_first_divergence_located(self):
+        a = simple_trace(10)
+        records = list(a.records)
+        records[4] = TraceRecord(records[4].pc, InstrKind.LOAD, False,
+                                 records[4].next_pc)
+        b = Trace(records)
+        diff = diff_traces(a, b)
+        assert diff
+        assert diff.first_divergence == 4
+        assert diff.divergent_records == 1
+        assert "@4" in diff.detail
+
+    def test_length_mismatch_reported(self):
+        diff = diff_traces(simple_trace(10), simple_trace(8))
+        assert diff
+        assert diff.divergent_records == 0
+        assert "lengths differ" in diff.detail
+
+    def test_detail_truncated(self):
+        a = simple_trace(20)
+        records = [TraceRecord(r.pc, InstrKind.STORE, False, r.next_pc)
+                   for r in a.records]
+        b = Trace(records)
+        diff = diff_traces(a, b, max_detail=2)
+        assert diff.divergent_records == 20
+        assert diff.detail.count("@") == 2
+
+    def test_walker_determinism_via_diff(self, small_program):
+        a = Trace.from_program(small_program, 2000, seed=3)
+        b = Trace.from_program(small_program, 2000, seed=3)
+        assert not diff_traces(a, b)

@@ -1,0 +1,147 @@
+"""DOT export, trace sampling, ASCII charts, combined prefetcher."""
+
+import pytest
+
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro.analysis import bar_chart, histogram_chart
+from repro.cfg import function_to_dot, program_to_dot
+from repro.errors import TraceError
+from repro.trace import sample_trace, split_trace
+
+
+class TestDotExport:
+    def test_function_dot_structure(self, small_program):
+        dot = function_to_dot(small_program.functions[0])
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+
+    def test_every_block_has_a_node(self, small_program):
+        function = small_program.functions[1]
+        dot = function_to_dot(function)
+        for block in function.blocks:
+            assert f"b{block.start:x}" in dot
+
+    def test_program_dot_with_clusters(self, small_program):
+        dot = program_to_dot(small_program, max_functions=3)
+        assert dot.count("subgraph cluster_") == 3
+
+    def test_external_targets_get_placeholders(self, small_program):
+        dot = program_to_dot(small_program, max_functions=1)
+        # main calls deeper functions that are not included.
+        assert "style=dashed" in dot
+
+    def test_conditional_edges_carry_bias(self, small_program):
+        dot = program_to_dot(small_program)
+        assert "taken p=" in dot
+
+
+class TestSampling:
+    def test_systematic_sampling(self, small_trace):
+        sampled = sample_trace(small_trace, sample=100, skip=300)
+        expected = 0
+        period = 400
+        n = len(small_trace)
+        for start in range(0, n, period):
+            expected += min(100, n - start)
+        assert len(sampled) == expected
+
+    def test_skip_zero_is_identity(self, small_trace):
+        assert sample_trace(small_trace, 10, 0) is small_trace
+
+    def test_sampled_windows_are_contiguous(self, small_trace):
+        sampled = sample_trace(small_trace, sample=50, skip=50)
+        # Within a window, records chain (next_pc == next record's pc).
+        for i in range(49):
+            assert sampled[i].next_pc == sampled[i + 1].pc
+
+    def test_validation(self, small_trace):
+        with pytest.raises(TraceError):
+            sample_trace(small_trace, 0, 10)
+        with pytest.raises(TraceError):
+            sample_trace(small_trace, 10, -1)
+
+    def test_split_covers_everything(self, small_trace):
+        parts = split_trace(small_trace, 7)
+        assert sum(len(p) for p in parts) == len(small_trace)
+        assert abs(len(parts[0]) - len(parts[-1])) <= 1
+
+    def test_split_order_preserved(self, small_trace):
+        parts = split_trace(small_trace, 3)
+        rejoined = [r for part in parts for r in part]
+        assert rejoined == small_trace.records
+
+    def test_split_validation(self, small_trace):
+        with pytest.raises(TraceError):
+            split_trace(small_trace, 0)
+        with pytest.raises(TraceError):
+            split_trace(small_trace, len(small_trace) + 1)
+
+
+class TestBarChart:
+    def test_scaling_to_peak(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values_have_empty_bars(self):
+        chart = bar_chart(["a", "b"], [0.0, 1.0], width=10)
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_title(self):
+        chart = bar_chart(["a"], [1.0], title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_ok(self):
+        assert bar_chart([], []) == ""
+
+
+class TestHistogramChart:
+    def test_small_histogram_one_bar_per_value(self):
+        chart = histogram_chart({1: 5, 3: 10}, width=10)
+        assert len(chart.splitlines()) == 2
+
+    def test_large_histogram_bucketed(self):
+        hist = {i: 1 for i in range(100)}
+        chart = histogram_chart(hist, max_buckets=10)
+        assert len(chart.splitlines()) <= 10
+        assert "-" in chart.splitlines()[0]
+
+    def test_bucket_counts_conserved(self):
+        hist = {i: 2 for i in range(50)}
+        chart = histogram_chart(hist, max_buckets=5)
+        total = sum(int(line.rsplit(None, 1)[-1])
+                    for line in chart.splitlines())
+        assert total == 100
+
+    def test_empty(self):
+        assert histogram_chart({}) == ""
+        assert histogram_chart({}, title="T") == "T"
+
+
+class TestCombinedPrefetcher:
+    def test_runs_to_completion(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.COMBINED))
+        result = run_simulation(small_trace, config)
+        assert result.instructions == len(small_trace)
+        assert result.get("combined.nlp_issued") > 0
+        assert result.get("fdip.issued") > 0
+
+    def test_not_worse_than_fdip_alone(self, small_trace):
+        fdip = run_simulation(small_trace, SimConfig(
+            prefetch=PrefetchConfig(kind=PrefetcherKind.FDIP)))
+        combined = run_simulation(small_trace, SimConfig(
+            prefetch=PrefetchConfig(kind=PrefetcherKind.COMBINED)))
+        assert combined.ipc >= fdip.ipc * 0.97
+
+    def test_shared_buffer_counts_useful_once(self, small_trace):
+        config = SimConfig(prefetch=PrefetchConfig(
+            kind=PrefetcherKind.COMBINED))
+        result = run_simulation(small_trace, config)
+        assert result.prefetches_useful <= result.prefetches_issued
