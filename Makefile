@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast bench bench-full report calibrate clean
+.PHONY: install test test-fast lint bench bench-full report calibrate clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,9 @@ test:
 
 test-fast:
 	$(PY) -m pytest tests/ -m "not slow"
+
+lint:
+	$(PY) -m ruff check src tests benchmarks examples
 
 bench:
 	REPRO_RESULT_CACHE=.result_cache \

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro experiment E3                # regenerate one table
     python -m repro calibrate                    # workload band checks
     python -m repro report -o report.md          # all experiments -> md
+    python -m repro sweep -t none fdip_enqueue   # fault-tolerant sweep
 
 Every subcommand accepts ``--length`` (trace length) and ``--seed``.
 ``run`` prints a metrics table, or JSON with ``--json``.
@@ -20,9 +21,17 @@ import json
 import sys
 from typing import Sequence
 
+from repro import env
 from repro.config import FilterMode, PrefetcherKind, SimConfig
-from repro.errors import ReproError
-from repro.harness import EXPERIMENTS, Runner, technique_config
+from repro.errors import ConfigError, ReproError
+from repro.harness import (
+    EXPERIMENTS,
+    ResultStore,
+    Runner,
+    TECHNIQUE_ORDER,
+    parallel_sweep,
+    technique_config,
+)
 from repro.harness.report import generate_report
 from repro.sim import run_simulation
 from repro.stats import format_table
@@ -80,12 +89,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one profile (default: the whole suite)")
     common(p_cal)
 
+    p_sw = sub.add_parser(
+        "sweep",
+        help="fault-tolerant parallel sweep over workloads x techniques")
+    p_sw.add_argument("-w", "--workloads", nargs="+", default=None,
+                      choices=ALL_WORKLOADS,
+                      help="workload subset (default: the whole suite)")
+    p_sw.add_argument("-t", "--techniques", nargs="+",
+                      default=["none", "fdip_enqueue"],
+                      choices=TECHNIQUE_ORDER)
+    p_sw.add_argument("--processes", type=int, default=None,
+                      help="worker processes (1 = inline)")
+    p_sw.add_argument("--max-retries", type=int, default=2,
+                      help="retries per point after the first attempt")
+    p_sw.add_argument("--point-timeout", type=float, default=None,
+                      help="wall-clock seconds per point attempt")
+    p_sw.add_argument("--resume", action="store_true",
+                      help="skip points already in the checkpoint store")
+    p_sw.add_argument("--checkpoint-dir", default=None,
+                      help="result store + sweep manifest directory "
+                           "(default: $REPRO_RESULT_CACHE)")
+    common(p_sw)
+
     p_rep = sub.add_parser("report",
                            help="run every experiment, emit markdown")
     p_rep.add_argument("-o", "--output", default="-",
                        help="output file ('-' for stdout)")
     p_rep.add_argument("--experiments", nargs="*", default=None,
                        help="subset of experiment ids (default: all)")
+    p_rep.add_argument("--processes", type=int, default=None,
+                       help="prewarm the main grid with this many "
+                            "supervised workers before reporting")
     common(p_rep)
 
     return parser
@@ -189,9 +223,49 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workloads = args.workloads or list(ALL_WORKLOADS)
+    triples = [(workload, technique, technique_config(technique))
+               for workload in workloads
+               for technique in args.techniques]
+    points = [(workload, config) for workload, _, config in triples]
+    checkpoint = args.checkpoint_dir or env.result_cache_dir()
+    if args.resume and checkpoint is None:
+        raise ConfigError("--resume needs --checkpoint-dir (or "
+                          "REPRO_RESULT_CACHE) to know where results "
+                          "were checkpointed")
+    store = ResultStore(checkpoint) if checkpoint else None
+    outcome = parallel_sweep(
+        points, trace_length=args.length, seed=args.seed,
+        processes=args.processes, max_retries=args.max_retries,
+        point_timeout=args.point_timeout, store=store,
+        checkpoint=checkpoint, resume=args.resume)
+    rows = []
+    for workload, technique, config in triples:
+        result = outcome.results.get((workload, config))
+        if result is None:
+            continue
+        rows.append([workload, technique, result.ipc, result.l1i_mpki,
+                     result.bus_utilization])
+    print(format_table(
+        ["workload", "technique", "ipc", "l1i_mpki", "bus util"], rows,
+        title=f"sweep at {args.length} instructions, seed {args.seed}"))
+    technique_of = {(workload, config): technique
+                    for workload, technique, config in triples}
+    for failure in outcome.failures:
+        label = technique_of.get((failure.workload, failure.config),
+                                 failure.key)
+        print(f"FAILED {failure.workload}/{label}: {failure.error_type}: "
+              f"{failure.message} "
+              f"({len(failure.attempts)} attempts)", file=sys.stderr)
+    print(outcome.summary())
+    return 0 if outcome.ok else 3
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     runner = Runner(trace_length=args.length, seed=args.seed)
-    text = generate_report(runner, experiment_ids=args.experiments)
+    text = generate_report(runner, experiment_ids=args.experiments,
+                           processes=args.processes)
     if args.output == "-":
         print(text)
     else:
@@ -216,6 +290,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "calibrate":
             return _cmd_calibrate(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "report":
             return _cmd_report(args)
     except ReproError as exc:

@@ -1,0 +1,80 @@
+"""Validated ``REPRO_*`` environment-variable handling.
+
+The harness honors a handful of environment overrides (trace length,
+full-run mode, the on-disk result cache).  Reading them through this
+module turns a typo like ``REPRO_TRACE_LEN=junk`` into a
+:class:`~repro.errors.ConfigError` naming the offending variable and
+value, instead of a bare ``ValueError`` (or a silent misconfiguration)
+deep inside a sweep.
+
+An empty string is treated as unset for every variable, matching shell
+idiom (``REPRO_TRACE_LEN= python ...``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "trace_length_override",
+    "full_run_requested",
+    "result_cache_dir",
+]
+
+
+def _raw(name: str) -> str | None:
+    value = os.environ.get(name)
+    return value if value else None
+
+
+def trace_length_override() -> int | None:
+    """``REPRO_TRACE_LEN`` as an int (floored at 1000), or None if unset.
+
+    Raises :class:`ConfigError` when the value is not an integer.
+    """
+    raw = _raw("REPRO_TRACE_LEN")
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_TRACE_LEN must be an integer trace length, "
+            f"got {raw!r}") from None
+    return max(1000, value)
+
+
+def full_run_requested() -> bool:
+    """Whether ``REPRO_FULL=1`` selected the long-run configuration.
+
+    Only ``"1"`` enables it and only ``"0"``/unset/empty disable it; any
+    other value (``"true"``, ``"yes"``, ...) raises :class:`ConfigError`
+    rather than being silently ignored.
+    """
+    raw = os.environ.get("REPRO_FULL")
+    if raw in (None, "", "0"):
+        return False
+    if raw == "1":
+        return True
+    raise ConfigError(f"REPRO_FULL must be '0' or '1', got {raw!r}")
+
+
+def result_cache_dir() -> str | None:
+    """``REPRO_RESULT_CACHE`` as a usable directory path, or None.
+
+    The directory does not have to exist yet (it is created on first
+    store), but an existing *non-directory* at that path raises
+    :class:`ConfigError` instead of failing on the first write.
+    """
+    raw = _raw("REPRO_RESULT_CACHE")
+    if raw is None:
+        return None
+    path = Path(raw)
+    if path.exists() and not path.is_dir():
+        raise ConfigError(
+            f"REPRO_RESULT_CACHE must name a directory, but {raw!r} "
+            f"exists and is not one")
+    return raw

@@ -30,3 +30,67 @@ class SimulationError(ReproError):
     This always indicates a bug in the simulator (or a hand-built component
     wired incorrectly), never a property of the simulated workload.
     """
+
+
+class SweepExecutionError(ReproError):
+    """Base class for failures of the fault-tolerant sweep executor.
+
+    These describe *how a point failed to execute* (timed out, crashed,
+    exhausted its retries), as opposed to what was wrong with the model
+    or its inputs.
+    """
+
+
+class PointTimeoutError(SweepExecutionError):
+    """A sweep point exceeded its per-attempt wall-clock timeout."""
+
+    def __init__(self, key: str, timeout: float):
+        self.key = key
+        self.timeout = timeout
+        super().__init__(
+            f"point {key!r} exceeded its {timeout:g}s wall-clock timeout")
+
+
+class WorkerCrashError(SweepExecutionError):
+    """A worker process died (segfault, ``os._exit``, OOM-kill, ...).
+
+    When a process-pool worker dies, every task in flight on that pool is
+    reported with this error — the pool cannot attribute the death to one
+    task, so innocent in-flight tasks are retried alongside the culprit.
+    """
+
+    def __init__(self, key: str, detail: str = ""):
+        self.key = key
+        message = f"worker process died while running point {key!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class CacheCorruptionError(ReproError):
+    """A persisted cache entry is corrupt (truncated, garbled, or failing
+    its content checksum); the entry has been quarantined, not deleted."""
+
+    def __init__(self, path: str, reason: str):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"corrupt cache entry {path}: {reason}")
+
+
+class RetryExhaustedError(SweepExecutionError):
+    """A point failed on every attempt the retry policy allowed.
+
+    ``attempts`` records the full attempt history (one entry per try, each
+    with the error type, message, and duration) so the failure can be
+    diagnosed after the sweep completes.
+    """
+
+    def __init__(self, key: str, attempts: list):
+        self.key = key
+        self.attempts = list(attempts)
+        last = self.attempts[-1] if self.attempts else None
+        detail = (f"; last error: {last.error_type}: {last.message}"
+                  if last is not None else "")
+        super().__init__(
+            f"point {key!r} failed after {len(self.attempts)} "
+            f"attempt(s){detail}")

@@ -5,10 +5,21 @@ from repro.harness.experiments import (
     ExperimentTable,
     run_experiment,
 )
-from repro.harness.parallel import SweepPoint, parallel_sweep
-from repro.harness.persist import ResultStore
+from repro.harness.parallel import (
+    PointFailure,
+    SweepOutcome,
+    SweepPoint,
+    parallel_sweep,
+)
+from repro.harness.persist import ResultStore, SweepManifest, result_key
 from repro.harness.report import generate_report
 from repro.harness.runner import Runner, default_trace_length, geomean
+from repro.harness.supervise import (
+    AttemptRecord,
+    RetryPolicy,
+    TaskFailure,
+    run_supervised,
+)
 from repro.harness.techniques import (
     TECHNIQUE_ORDER,
     TECHNIQUES,
@@ -19,7 +30,15 @@ __all__ = [
     "Runner",
     "parallel_sweep",
     "SweepPoint",
+    "SweepOutcome",
+    "PointFailure",
+    "RetryPolicy",
+    "AttemptRecord",
+    "TaskFailure",
+    "run_supervised",
     "ResultStore",
+    "SweepManifest",
+    "result_key",
     "generate_report",
     "default_trace_length",
     "geomean",

@@ -25,7 +25,8 @@ from repro.workloads import (
     get_profile,
 )
 
-__all__ = ["ExperimentTable", "EXPERIMENTS", "run_experiment"]
+__all__ = ["ExperimentTable", "EXPERIMENTS", "run_experiment",
+           "main_grid_points", "prewarm_main_grid"]
 
 # Subsets used by parameter sweeps to keep run counts manageable.
 SERVER_SUBSET = ("perl_like", "vortex_like")
@@ -770,6 +771,31 @@ def experiment_e22(runner: Runner) -> ExperimentTable:
         notes="wider/banked fetch raises FDIP's absolute IPC and its "
               "relative benefit: once bandwidth stops being the "
               "bottleneck, covering misses is all that is left")
+
+
+def main_grid_points() -> list[tuple[str, SimConfig]]:
+    """Every (workload, technique) point of the main comparison.
+
+    This is the grid E2..E5 and E17 share; prewarming it covers the bulk
+    of a default report's simulation time.
+    """
+    return [(workload, technique_config(technique))
+            for workload in ALL_WORKLOADS
+            for technique in TECHNIQUE_ORDER]
+
+
+def prewarm_main_grid(runner: Runner, processes: int | None = None,
+                      **sweep_kwargs):
+    """Populate ``runner``'s memo for the main grid via a supervised sweep.
+
+    Runs the (workload, technique) grid fault-tolerantly in parallel;
+    results land in the runner's in-memory memo (and persistent store,
+    when configured), so the serial experiment functions replay them for
+    free.  Points that fail after retries degrade gracefully: the
+    experiment that needs them simply re-simulates inline.  Returns the
+    :class:`~repro.harness.parallel.SweepOutcome`.
+    """
+    return runner.sweep(main_grid_points(), processes, **sweep_kwargs)
 
 
 EXPERIMENTS: dict[str, Callable[[Runner], ExperimentTable]] = {

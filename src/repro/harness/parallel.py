@@ -1,54 +1,243 @@
-"""Multiprocess sweep execution.
+"""Fault-tolerant multiprocess sweep execution.
 
 Full-length sweeps (``REPRO_FULL=1``) are embarrassingly parallel across
 (workload, configuration) points.  :func:`parallel_sweep` fans the points
-out over a process pool; each worker builds (or loads from the shared
-on-disk cache) its own trace and returns the :class:`SimResult`, which is
-picklable by construction (plain dataclass of ints/floats/dicts).
+out over a *supervised* process pool (see
+:mod:`repro.harness.supervise`): per-point wall-clock timeouts, bounded
+retry with exponential backoff and deterministic jitter, worker-death
+detection with pool rebuild, and graceful degradation — a point that
+exhausts its retries becomes a structured :class:`PointFailure` instead
+of aborting the sweep.
+
+The return value is a :class:`SweepOutcome`.  It behaves as a read-only
+mapping ``{point: SimResult}`` over the *completed* points (so existing
+callers keep working) and additionally carries the failure records and
+execution counters (completed/retried/failed/resumed/...).
+
+With a :class:`~repro.harness.persist.ResultStore` and a checkpoint
+path, completed points are persisted as they finish and a
+:class:`~repro.harness.persist.SweepManifest` tracks progress, so an
+interrupted sweep rerun with ``resume=True`` re-simulates only the
+unfinished points.
+
+Workers validate their result against the simulator's structural
+invariants (:func:`repro.sim.guard_invariants`) before returning, so a
+counter-corrupting bug surfaces as a classifiable, diagnostics-carrying
+point failure rather than an ``AssertionError`` escaping the pool.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import hashlib
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
 
 from repro.config import SimConfig
-from repro.sim import SimResult, run_simulation
+from repro.harness.persist import ResultStore, SweepManifest, result_key
+from repro.harness.supervise import (
+    AttemptRecord,
+    RetryPolicy,
+    TaskFailure,
+    run_supervised,
+)
+from repro.errors import RetryExhaustedError
+from repro.sim import SimResult, guard_invariants, run_simulation
+from repro.stats.sweep import merge_counters, summary_line
 from repro.workloads import build_trace
 
-__all__ = ["parallel_sweep", "SweepPoint"]
+__all__ = [
+    "parallel_sweep",
+    "SweepPoint",
+    "SweepOutcome",
+    "PointFailure",
+    "RetryPolicy",
+]
 
 SweepPoint = tuple[str, SimConfig]
 
 
-def _run_point(point: SweepPoint, trace_length: int,
-               seed: int, warmup: int) -> SimResult:
-    """Worker: simulate one (workload, config) point."""
-    workload, config = point
+@dataclass
+class PointFailure:
+    """One (workload, config) point that failed after all retries."""
+
+    workload: str
+    config: SimConfig
+    key: str
+    attempts: list[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def error_type(self) -> str:
+        return self.attempts[-1].error_type if self.attempts else "unknown"
+
+    @property
+    def message(self) -> str:
+        return self.attempts[-1].message if self.attempts else ""
+
+    def as_error(self) -> RetryExhaustedError:
+        return RetryExhaustedError(self.key, self.attempts)
+
+
+class SweepOutcome(Mapping):
+    """Completed results plus per-point failures and execution counters.
+
+    Mapping access (``outcome[point]``, ``len``, iteration) covers the
+    completed points only; ``failures`` lists what could not be computed.
+    """
+
+    def __init__(self, results: dict[SweepPoint, SimResult],
+                 failures: list[PointFailure],
+                 counters: dict[str, int]):
+        self.results = results
+        self.failures = failures
+        self.counters = counters
+
+    def __getitem__(self, point: SweepPoint) -> SimResult:
+        return self.results[point]
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line completed/retried/failed report for logs and the CLI."""
+        return summary_line(self.counters)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`RetryExhaustedError` for the first failed point."""
+        if self.failures:
+            raise self.failures[0].as_error()
+
+    def __repr__(self) -> str:
+        return (f"SweepOutcome(completed={len(self.results)}, "
+                f"failed={len(self.failures)})")
+
+
+def _effective_config(config: SimConfig, warmup: int) -> SimConfig:
+    """The config a point actually runs (default warm-up injected)."""
     if warmup and config.warmup_instructions == 0:
-        config = config.replace(warmup_instructions=warmup)
+        return config.replace(warmup_instructions=warmup)
+    return config
+
+
+def _run_point(workload: str, config: SimConfig, trace_length: int,
+               seed: int, verify_invariants: bool) -> SimResult:
+    """Worker: simulate one (workload, config) point and validate it."""
     trace = build_trace(workload, trace_length, seed=seed)
-    return run_simulation(trace, config, name=workload)
+    result = run_simulation(trace, config, name=workload)
+    if verify_invariants:
+        guard_invariants(result,
+                         warmed_up=config.warmup_instructions > 0,
+                         context=workload)
+    return result
+
+
+def _manifest_path(checkpoint: str | Path, keys: list[str],
+                   trace_length: int, seed: int) -> Path:
+    """Manifest location for this sweep's identity under ``checkpoint``.
+
+    A directory gets a per-sweep file named from the point-set identity;
+    an explicit ``*.json`` path is used as-is.
+    """
+    checkpoint = Path(checkpoint)
+    if checkpoint.suffix == ".json":
+        return checkpoint
+    identity = f"{trace_length}|{seed}|" + "|".join(sorted(keys))
+    digest = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
+    return checkpoint / f"sweep-{digest}.manifest.json"
 
 
 def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
                    seed: int = 1, warmup: int | None = None,
-                   processes: int | None = None,
-                   ) -> dict[SweepPoint, SimResult]:
-    """Run every (workload, config) point, fanned across processes.
+                   processes: int | None = None, *,
+                   max_retries: int = 2,
+                   point_timeout: float | None = None,
+                   policy: RetryPolicy | None = None,
+                   store: ResultStore | None = None,
+                   checkpoint: str | Path | None = None,
+                   resume: bool = False,
+                   verify_invariants: bool = True) -> SweepOutcome:
+    """Run every (workload, config) point under supervision.
 
     With ``processes=1`` (or a single point) everything runs inline —
-    useful for tests and debugging.  Returns a dict keyed by the input
-    points.  Duplicate points are simulated once.
+    useful for tests and debugging (timeouts are not enforced inline).
+    Duplicate points are simulated once.
+
+    ``store`` persists each completed point; ``checkpoint`` (a directory
+    or explicit ``*.json`` path) additionally maintains a
+    :class:`SweepManifest`.  With ``resume=True``, points already present
+    in the store are loaded instead of re-simulated.
     """
     if warmup is None:
         warmup = trace_length // 5
+    if policy is None:
+        policy = RetryPolicy(max_retries=max_retries,
+                             point_timeout=point_timeout)
+
     unique = list(dict.fromkeys(points))
-    if processes == 1 or len(unique) <= 1:
-        results = [_run_point(p, trace_length, seed, warmup)
-                   for p in unique]
-    else:
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            futures = [pool.submit(_run_point, p, trace_length, seed,
-                                   warmup) for p in unique]
-            results = [f.result() for f in futures]
-    return dict(zip(unique, results))
+    effective = {point: _effective_config(point[1], warmup)
+                 for point in unique}
+    keys = {point: result_key(point[0], effective[point], trace_length,
+                              seed)
+            for point in unique}
+    by_key = {key: point for point, key in keys.items()}
+
+    manifest = None
+    if checkpoint is not None:
+        manifest = SweepManifest(_manifest_path(
+            checkpoint, list(keys.values()), trace_length, seed))
+
+    results: dict[SweepPoint, SimResult] = {}
+    failures: list[PointFailure] = []
+    resumed = 0
+
+    todo = []
+    for point in unique:
+        key = keys[point]
+        if resume and store is not None:
+            cached = store.load(point[0], effective[point], trace_length,
+                                seed)
+            if cached is not None:
+                results[point] = cached
+                resumed += 1
+                if manifest is not None and key not in manifest.done:
+                    manifest.mark_done(key)
+                continue
+        todo.append((key, (point[0], effective[point], trace_length,
+                           seed, verify_invariants)))
+
+    def on_success(key: str, result: SimResult) -> None:
+        point = by_key[key]
+        results[point] = result
+        if store is not None:
+            store.store(point[0], effective[point], trace_length, seed,
+                        result)
+        if manifest is not None:
+            manifest.mark_done(key)
+
+    def on_failure(key: str, failure: TaskFailure) -> None:
+        point = by_key[key]
+        failures.append(PointFailure(point[0], point[1], key,
+                                     failure.attempts))
+        if manifest is not None:
+            manifest.mark_failed(
+                key, f"{failure.error_type}: {failure.message}")
+
+    if processes is None and len(todo) <= 1:
+        # No parallelism to exploit; skip the pool (the worker is trusted
+        # simulator code, so inline execution is safe).
+        processes = 1
+    supervised = run_supervised(_run_point, todo, processes=processes,
+                                policy=policy, on_success=on_success,
+                                on_failure=on_failure)
+
+    counters = merge_counters(supervised.counters,
+                              {"points": len(unique), "resumed": resumed})
+    return SweepOutcome(results, failures, counters)

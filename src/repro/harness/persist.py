@@ -1,25 +1,82 @@
-"""Persistent simulation-result cache.
+"""Persistent simulation-result cache and sweep checkpointing.
 
-Long (``REPRO_FULL=1``) sweeps are expensive; this store keeps each
-:class:`SimResult` on disk keyed by everything that determines it — the
-workload/trace identity, the full configuration, and the package version
-(so any model change invalidates old results).
+Long (``REPRO_FULL=1``) sweeps are expensive; :class:`ResultStore` keeps
+each :class:`SimResult` on disk keyed by everything that determines it —
+the workload/trace identity, the full configuration, and the package
+version (so any model change invalidates old results).
 
-Enable it for the benchmark suite by setting ``REPRO_RESULT_CACHE`` to a
-directory path.
+The store is hardened for concurrent, crash-prone use:
+
+- writes go through a **unique per-writer temp file** plus atomic
+  ``os.replace`` (a shared ``.tmp`` path would race when two workers
+  store the same key);
+- entries embed a **content checksum**; a truncated or garbled file is
+  **quarantined** under ``<dir>/quarantine/`` for post-mortem instead of
+  being silently deleted, and the load simply misses.
+
+:class:`SweepManifest` checkpoints sweep progress (which point keys are
+done or failed) in one atomically-rewritten JSON file, so an interrupted
+sweep rerun with ``resume=True`` re-simulates only the unfinished points.
+
+Enable the store for the benchmark suite by setting
+``REPRO_RESULT_CACHE`` to a directory path.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import tempfile
 from pathlib import Path
 
 import repro
 from repro.config import SimConfig
+from repro.errors import CacheCorruptionError
 from repro.sim import SimResult
 from repro.sim.serialize import result_from_json, result_to_json
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "SweepManifest", "result_key"]
+
+QUARANTINE_DIR = "quarantine"
+
+
+def result_key(workload: str, config: SimConfig, trace_length: int,
+               seed: int) -> str:
+    """Stable identity of one simulation point (store/manifest key)."""
+    identity = (f"v{repro.__version__}|{workload}|{trace_length}"
+                f"|{seed}|{config!r}")
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:32]
+
+
+def _atomic_write(directory: Path, path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a unique temp file + atomic replace."""
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=f".{path.stem}.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _quarantine(path: Path) -> Path:
+    """Move a corrupt file into the quarantine subdirectory."""
+    qdir = path.parent / QUARANTINE_DIR
+    qdir.mkdir(parents=True, exist_ok=True)
+    target = qdir / path.name
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = qdir / f"{path.name}.{suffix}"
+    os.replace(path, target)
+    return target
 
 
 class ResultStore:
@@ -27,35 +84,57 @@ class ResultStore:
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
+        self.quarantined = 0
 
     def _key(self, workload: str, config: SimConfig, trace_length: int,
              seed: int) -> str:
-        identity = (f"v{repro.__version__}|{workload}|{trace_length}"
-                    f"|{seed}|{config!r}")
-        return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:32]
+        return result_key(workload, config, trace_length, seed)
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.result.json"
 
+    def _parse(self, path: Path, text: str) -> SimResult:
+        try:
+            envelope = json.loads(text)
+        except ValueError as exc:
+            raise CacheCorruptionError(str(path),
+                                       f"not valid JSON ({exc})") from None
+        if isinstance(envelope, dict) and "payload" in envelope:
+            payload = envelope["payload"]
+            digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            if digest != envelope.get("checksum"):
+                raise CacheCorruptionError(str(path), "checksum mismatch")
+            return result_from_json(payload)
+        # Legacy entry written before checksumming: parse directly.
+        return result_from_json(text)
+
     def load(self, workload: str, config: SimConfig, trace_length: int,
              seed: int) -> SimResult | None:
-        """Return a stored result or None; corrupt files are ignored."""
+        """Return a stored result or None; corrupt files are quarantined."""
         path = self._path(self._key(workload, config, trace_length, seed))
-        if not path.exists():
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             return None
         try:
-            return result_from_json(path.read_text(encoding="utf-8"))
+            return self._parse(path, text)
         except Exception:
-            path.unlink(missing_ok=True)
+            try:
+                _quarantine(path)
+                self.quarantined += 1
+            except OSError:
+                pass
             return None
 
     def store(self, workload: str, config: SimConfig, trace_length: int,
               seed: int, result: SimResult) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(self._key(workload, config, trace_length, seed))
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(result_to_json(result), encoding="utf-8")
-        tmp.replace(path)
+        payload = result_to_json(result)
+        envelope = json.dumps({
+            "checksum": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+            "payload": payload,
+        })
+        _atomic_write(self.directory, path, envelope)
 
     def clear(self) -> int:
         """Delete all stored results; returns the number removed."""
@@ -66,3 +145,68 @@ class ResultStore:
             path.unlink()
             removed += 1
         return removed
+
+    def quarantined_files(self) -> list[Path]:
+        """Entries quarantined as corrupt (for post-mortem inspection)."""
+        qdir = self.directory / QUARANTINE_DIR
+        if not qdir.exists():
+            return []
+        return sorted(qdir.iterdir())
+
+
+class SweepManifest:
+    """Atomic on-disk checkpoint of one sweep's per-point progress.
+
+    The manifest maps point keys (see :func:`result_key`) to a terminal
+    status (``done`` or ``failed``).  It is rewritten atomically after
+    every state change, so a sweep killed mid-run leaves a consistent
+    file behind; a corrupt manifest is quarantined and treated as empty
+    (resume then falls back on the result store alone).
+    """
+
+    _VERSION = 1
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.done: set[str] = set()
+        self.failed: dict[str, str] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        except OSError:
+            return
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict) or "done" not in data:
+                raise ValueError("missing keys")
+            self.done = set(data["done"])
+            self.failed = dict(data.get("failed", {}))
+        except (ValueError, TypeError):
+            try:
+                _quarantine(self.path)
+            except OSError:
+                pass
+            self.done = set()
+            self.failed = {}
+
+    def save(self) -> None:
+        payload = json.dumps({
+            "version": self._VERSION,
+            "done": sorted(self.done),
+            "failed": self.failed,
+        }, indent=1, sort_keys=True)
+        _atomic_write(self.path.parent, self.path, payload)
+
+    def mark_done(self, key: str) -> None:
+        self.done.add(key)
+        self.failed.pop(key, None)
+        self.save()
+
+    def mark_failed(self, key: str, error: str) -> None:
+        self.done.discard(key)
+        self.failed[key] = error
+        self.save()

@@ -10,10 +10,11 @@ results in memory.
 from __future__ import annotations
 
 import math
-import os
 
+from repro import env
 from repro.config import SimConfig
 from repro.sim import SimResult, run_simulation
+from repro.stats.sweep import merge_counters
 from repro.trace import Trace
 from repro.workloads import build_trace
 
@@ -28,12 +29,13 @@ def default_trace_length() -> int:
 
     ``REPRO_TRACE_LEN`` overrides exactly; ``REPRO_FULL=1`` selects the
     long configuration; the default keeps a full experiment sweep in the
-    minutes range on a laptop.
+    minutes range on a laptop.  Malformed values raise
+    :class:`~repro.errors.ConfigError` (see :mod:`repro.env`).
     """
-    override = os.environ.get("REPRO_TRACE_LEN")
-    if override:
-        return max(1000, int(override))
-    if os.environ.get("REPRO_FULL") == "1":
+    override = env.trace_length_override()
+    if override is not None:
+        return override
+    if env.full_run_requested():
         return _FULL_LENGTH
     return _QUICK_LENGTH
 
@@ -52,18 +54,23 @@ class Runner:
 
     def __init__(self, trace_length: int | None = None, seed: int = 1,
                  warmup_fraction: float = 0.2,
-                 persist_dir: str | None = None):
+                 persist_dir: str | None = None,
+                 store: "ResultStore | None" = None):
         self.trace_length = trace_length or default_trace_length()
         self.seed = seed
         self.warmup_fraction = warmup_fraction
         self._traces: dict[str, Trace] = {}
         self._results: dict[tuple[str, SimConfig], SimResult] = {}
-        if persist_dir is None:
-            persist_dir = os.environ.get("REPRO_RESULT_CACHE")
-        self._store = None
-        if persist_dir:
-            from repro.harness.persist import ResultStore
-            self._store = ResultStore(persist_dir)
+        self.sweep_counters: dict[str, int] = {}
+        if store is not None:
+            self._store = store
+        else:
+            if persist_dir is None:
+                persist_dir = env.result_cache_dir()
+            self._store = None
+            if persist_dir:
+                from repro.harness.persist import ResultStore
+                self._store = ResultStore(persist_dir)
 
     def trace(self, workload: str) -> Trace:
         trace = self._traces.get(workload)
@@ -97,12 +104,41 @@ class Runner:
         """A runner over the same lengths/persistence but another seed.
 
         Child runners share nothing in memory (different traces), but do
-        share the on-disk trace/result caches.
+        share the on-disk trace/result caches.  All settings travel
+        through the constructor (no post-construction mutation), so
+        constructor logic always applies to children.
         """
-        child = Runner(trace_length=self.trace_length, seed=seed,
-                       warmup_fraction=self.warmup_fraction)
-        child._store = self._store
-        return child
+        return Runner(trace_length=self.trace_length, seed=seed,
+                      warmup_fraction=self.warmup_fraction,
+                      store=self._store)
+
+    def sweep(self, points: "list[tuple[str, SimConfig]]",
+              processes: int | None = None, *,
+              max_retries: int = 2, point_timeout: float | None = None,
+              checkpoint: str | None = None,
+              resume: bool = False) -> "SweepOutcome":
+        """Run many points fault-tolerantly and memoize the survivors.
+
+        Fans out through :func:`~repro.harness.parallel.parallel_sweep`
+        with this runner's trace length, seed, warm-up, and persistent
+        store; completed results join the in-memory memo so subsequent
+        :meth:`run` calls are free.  Execution counters accumulate on
+        :attr:`sweep_counters` (reported in the markdown report footer).
+        """
+        from repro.harness.parallel import _effective_config, parallel_sweep
+
+        warmup = int(self.trace_length * self.warmup_fraction)
+        outcome = parallel_sweep(
+            points, trace_length=self.trace_length, seed=self.seed,
+            warmup=warmup, processes=processes, max_retries=max_retries,
+            point_timeout=point_timeout, store=self._store,
+            checkpoint=checkpoint, resume=resume)
+        for (workload, config), result in outcome.items():
+            key = (workload, _effective_config(config, warmup))
+            self._results.setdefault(key, result)
+        self.sweep_counters = merge_counters(self.sweep_counters,
+                                             outcome.counters)
+        return outcome
 
     def speedup(self, workload: str, config: SimConfig,
                 baseline: SimConfig) -> float:

@@ -1,0 +1,344 @@
+"""Supervised multiprocess execution: retries, timeouts, pool rebuild.
+
+:func:`run_supervised` is the fault-tolerant core under
+:func:`~repro.harness.parallel.parallel_sweep`.  It executes a batch of
+independent tasks on a process pool and survives the failure modes a
+long ``REPRO_FULL=1`` sweep actually hits:
+
+- **transient exceptions** — retried up to ``RetryPolicy.max_retries``
+  times with exponential backoff and *deterministic* jitter (hashed from
+  the task key and attempt number, so reruns behave identically);
+- **hung workers** — each attempt gets a wall-clock deadline; on expiry
+  the pool is torn down (terminating the stuck process), rebuilt, and the
+  surviving in-flight tasks are resubmitted without losing an attempt;
+- **dead workers** — a worker that segfaults or ``os._exit``\\ s marks the
+  ``ProcessPoolExecutor`` broken (``BrokenProcessPool``); the supervisor
+  rebuilds the pool and retries everything that was in flight.  The pool
+  cannot attribute the death to one task, so innocent in-flight tasks
+  spend an attempt too — their retries succeed on the fresh pool;
+- **deterministic failures** — a task that exhausts its attempts is
+  recorded as a :class:`TaskFailure` with its full attempt history; the
+  batch keeps going (graceful degradation) instead of aborting.
+
+With ``processes=1`` everything runs inline in this process: retries and
+backoff still apply, but wall-clock timeouts are not enforced (there is
+no worker to kill).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import PointTimeoutError, RetryExhaustedError
+
+__all__ = [
+    "RetryPolicy",
+    "AttemptRecord",
+    "TaskFailure",
+    "SupervisedOutcome",
+    "run_supervised",
+]
+
+# Poll floor so deadline/backoff scans stay responsive without spinning.
+_MIN_WAIT = 0.02
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/timeout policy for one batch of supervised tasks.
+
+    ``max_retries`` is the number of *re*-tries after the first attempt
+    (so a task runs at most ``max_retries + 1`` times).  Backoff before
+    retry *n* is ``backoff_base * backoff_factor**(n-1)`` capped at
+    ``backoff_max``, then scaled by a deterministic jitter in
+    ``[1 - jitter_fraction, 1 + jitter_fraction]`` derived from the task
+    key — no global RNG state, so sweeps stay reproducible.
+    """
+
+    max_retries: int = 2
+    point_timeout: float | None = None
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter_fraction: float = 0.25
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """Delay in seconds before retrying ``key`` after attempt ``attempt``."""
+        if self.backoff_base <= 0:
+            return 0.0
+        delay = min(self.backoff_max,
+                    self.backoff_base * self.backoff_factor ** (attempt - 1))
+        digest = hashlib.sha256(f"{key}|{attempt}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return delay * (1.0 + self.jitter_fraction * (2.0 * unit - 1.0))
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One failed attempt of one task."""
+
+    attempt: int
+    error_type: str
+    message: str
+    duration: float
+
+
+@dataclass
+class TaskFailure:
+    """A task that failed on every attempt the policy allowed."""
+
+    key: str
+    attempts: list[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def error_type(self) -> str:
+        return self.attempts[-1].error_type if self.attempts else "unknown"
+
+    @property
+    def message(self) -> str:
+        return self.attempts[-1].message if self.attempts else ""
+
+    def as_error(self) -> RetryExhaustedError:
+        return RetryExhaustedError(self.key, self.attempts)
+
+
+@dataclass
+class SupervisedOutcome:
+    """Results, failures, and execution counters for one batch."""
+
+    results: dict[str, Any]
+    failures: dict[str, TaskFailure]
+    counters: dict[str, int]
+
+
+@dataclass
+class _Pending:
+    key: str
+    args: tuple
+    attempt: int
+    ready_at: float
+
+
+def _new_counters() -> dict[str, int]:
+    return {"completed": 0, "retried": 0, "failed": 0,
+            "timeouts": 0, "crashes": 0, "rebuilds": 0}
+
+
+def run_supervised(fn: Callable[..., Any],
+                   tasks: list[tuple[str, tuple]],
+                   *,
+                   processes: int | None = None,
+                   policy: RetryPolicy | None = None,
+                   on_success: Callable[[str, Any], None] | None = None,
+                   on_failure: Callable[[str, TaskFailure], None] | None = None,
+                   ) -> SupervisedOutcome:
+    """Run ``fn(*args)`` for every ``(key, args)`` task, fault-tolerantly.
+
+    ``on_success``/``on_failure`` fire in *this* process as each task
+    settles — the checkpointing hooks used by the sweep layer.  Returns a
+    :class:`SupervisedOutcome`; never raises for task-level failures.
+    """
+    if policy is None:
+        policy = RetryPolicy()
+    if processes == 1 or not tasks:
+        return _run_inline(fn, tasks, policy, on_success, on_failure)
+    return _run_pooled(fn, tasks, processes, policy, on_success, on_failure)
+
+
+def _run_inline(fn, tasks, policy, on_success, on_failure) -> SupervisedOutcome:
+    results: dict[str, Any] = {}
+    failures: dict[str, TaskFailure] = {}
+    counters = _new_counters()
+    for key, args in tasks:
+        attempts: list[AttemptRecord] = []
+        attempt = 1
+        while True:
+            started = time.monotonic()
+            try:
+                value = fn(*args)
+            except Exception as exc:  # noqa: BLE001 — classify, don't die
+                attempts.append(AttemptRecord(
+                    attempt, type(exc).__name__, str(exc),
+                    time.monotonic() - started))
+                if attempt > policy.max_retries:
+                    failure = TaskFailure(key, attempts)
+                    failures[key] = failure
+                    counters["failed"] += 1
+                    if on_failure is not None:
+                        on_failure(key, failure)
+                    break
+                counters["retried"] += 1
+                delay = policy.backoff(key, attempt)
+                if delay:
+                    time.sleep(delay)
+                attempt += 1
+            else:
+                results[key] = value
+                counters["completed"] += 1
+                if on_success is not None:
+                    on_success(key, value)
+                break
+    return SupervisedOutcome(results, failures, counters)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard, reclaiming hung or dead workers."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:  # noqa: BLE001 — already-dead workers are fine
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    deadline = time.monotonic() + 5.0
+    for proc in processes:
+        try:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def _run_pooled(fn, tasks, processes, policy,
+                on_success, on_failure) -> SupervisedOutcome:
+    results: dict[str, Any] = {}
+    failures: dict[str, TaskFailure] = {}
+    counters = _new_counters()
+    attempts: dict[str, list[AttemptRecord]] = {key: [] for key, _ in tasks}
+
+    pool = ProcessPoolExecutor(max_workers=processes)
+    pending: list[_Pending] = [
+        _Pending(key, args, 1, 0.0) for key, args in tasks]
+    inflight: dict[Any, tuple[str, tuple, int, float | None, float]] = {}
+
+    def settle_failure(key: str, args: tuple, attempt: int,
+                       error_type: str, message: str, duration: float,
+                       *, count_attempt: bool = True) -> None:
+        """Record a failed attempt and either reschedule or give up."""
+        if not count_attempt:
+            pending.append(_Pending(key, args, attempt, time.monotonic()))
+            return
+        attempts[key].append(
+            AttemptRecord(attempt, error_type, message, duration))
+        if error_type == PointTimeoutError.__name__:
+            counters["timeouts"] += 1
+        elif error_type == "WorkerCrashError":
+            counters["crashes"] += 1
+        if attempt > policy.max_retries:
+            failure = TaskFailure(key, attempts[key])
+            failures[key] = failure
+            counters["failed"] += 1
+            if on_failure is not None:
+                on_failure(key, failure)
+        else:
+            counters["retried"] += 1
+            ready = time.monotonic() + policy.backoff(key, attempt)
+            pending.append(_Pending(key, args, attempt + 1, ready))
+
+    def rebuild() -> None:
+        nonlocal pool
+        counters["rebuilds"] += 1
+        _kill_pool(pool)
+        pool = ProcessPoolExecutor(max_workers=processes)
+
+    def submit_ready(now: float) -> None:
+        nonlocal pool
+        remaining: list[_Pending] = []
+        for item in pending:
+            if item.ready_at > now:
+                remaining.append(item)
+                continue
+            deadline = (now + policy.point_timeout
+                        if policy.point_timeout else None)
+            try:
+                future = pool.submit(fn, *item.args)
+            except BrokenProcessPool:
+                # Pool died between batches; rebuild and resubmit.
+                rebuild()
+                future = pool.submit(fn, *item.args)
+            inflight[future] = (item.key, item.args, item.attempt,
+                                deadline, now)
+        pending[:] = remaining
+
+    try:
+        while pending or inflight:
+            now = time.monotonic()
+            submit_ready(now)
+            if not inflight:
+                next_ready = min(item.ready_at for item in pending)
+                time.sleep(max(_MIN_WAIT, next_ready - time.monotonic()))
+                continue
+
+            horizons = [meta[3] for meta in inflight.values()
+                        if meta[3] is not None]
+            horizons.extend(item.ready_at for item in pending)
+            timeout = None
+            if horizons:
+                timeout = max(_MIN_WAIT, min(horizons) - time.monotonic())
+            done, _ = wait(list(inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+
+            pool_broken = False
+            for future in done:
+                key, args, attempt, _deadline, started = inflight.pop(future)
+                duration = time.monotonic() - started
+                try:
+                    value = future.result()
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    settle_failure(key, args, attempt, "WorkerCrashError",
+                                   str(exc) or "process pool broken",
+                                   duration)
+                except Exception as exc:  # noqa: BLE001 — worker exception
+                    settle_failure(key, args, attempt,
+                                   type(exc).__name__, str(exc), duration)
+                else:
+                    results[key] = value
+                    counters["completed"] += 1
+                    if on_success is not None:
+                        on_success(key, value)
+
+            if pool_broken:
+                # Every future on a broken pool fails; drain them all as
+                # crash attempts (attribution to one task is impossible),
+                # then rebuild.
+                for future, (key, args, attempt, _deadline,
+                             started) in list(inflight.items()):
+                    settle_failure(key, args, attempt, "WorkerCrashError",
+                                   "in flight when a pool worker died",
+                                   time.monotonic() - started)
+                inflight.clear()
+                rebuild()
+                continue
+
+            now = time.monotonic()
+            timed_out = [future for future, meta in inflight.items()
+                         if meta[3] is not None and now >= meta[3]]
+            if timed_out:
+                for future in timed_out:
+                    key, args, attempt, _deadline, started = \
+                        inflight.pop(future)
+                    error = PointTimeoutError(key, policy.point_timeout)
+                    settle_failure(key, args, attempt,
+                                   type(error).__name__, str(error),
+                                   now - started)
+                # A hung worker cannot be reclaimed individually: tear the
+                # pool down and resubmit the survivors, without charging
+                # them an attempt.
+                survivors = list(inflight.values())
+                inflight.clear()
+                rebuild()
+                for key, args, attempt, _deadline, _started in survivors:
+                    settle_failure(key, args, attempt, "", "", 0.0,
+                                   count_attempt=False)
+    finally:
+        _kill_pool(pool)
+
+    return SupervisedOutcome(results, failures, counters)

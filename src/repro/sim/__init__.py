@@ -4,6 +4,7 @@ from repro.sim.invariants import (
     InvariantViolation,
     assert_invariants,
     check_invariants,
+    guard_invariants,
 )
 from repro.sim.results import SimResult
 from repro.sim.serialize import (
@@ -20,6 +21,7 @@ __all__ = [
     "make_prefetcher",
     "run_simulation",
     "check_invariants",
+    "guard_invariants",
     "assert_invariants",
     "InvariantViolation",
     "result_to_dict",

@@ -7,6 +7,11 @@ from repro.stats.report import (
     rows_to_csv,
     rows_to_json,
 )
+from repro.stats.sweep import (
+    merge_counters,
+    summary_line,
+    sweep_stat_group,
+)
 
 __all__ = [
     "Histogram",
@@ -15,4 +20,7 @@ __all__ = [
     "format_value",
     "rows_to_csv",
     "rows_to_json",
+    "merge_counters",
+    "summary_line",
+    "sweep_stat_group",
 ]

@@ -1,0 +1,64 @@
+"""Sweep-execution counters and the human-readable summary line.
+
+The fault-tolerant sweep executor reports how a batch actually ran —
+completed / retried / failed points, plus the failure-mode breakdown
+(timeouts, worker crashes, pool rebuilds) and how many points were
+resumed from a checkpoint.  This module owns the counter vocabulary and
+its rendering so the harness, report generator, and CLI all agree.
+"""
+
+from __future__ import annotations
+
+from repro.stats.counters import StatGroup
+
+__all__ = ["COUNTER_NAMES", "merge_counters", "sweep_stat_group",
+           "summary_line"]
+
+# Canonical counter vocabulary, in display order.
+COUNTER_NAMES: tuple[str, ...] = (
+    "points", "completed", "resumed", "retried", "failed",
+    "timeouts", "crashes", "rebuilds",
+)
+
+
+def merge_counters(*sources: dict[str, int]) -> dict[str, int]:
+    """Sum counter dicts into one (missing names count as zero)."""
+    merged: dict[str, int] = {}
+    for source in sources:
+        for name, value in source.items():
+            merged[name] = merged.get(name, 0) + value
+    return merged
+
+
+def sweep_stat_group(counters: dict[str, int]) -> StatGroup:
+    """The counters as a ``StatGroup('sweep')`` for stats merging."""
+    group = StatGroup("sweep")
+    for name in COUNTER_NAMES:
+        group.set(name, counters.get(name, 0))
+    return group
+
+
+def summary_line(counters: dict[str, int]) -> str:
+    """One-line completed/retried/failed report, e.g.::
+
+        sweep: 10/12 points completed (2 resumed), 3 retried, 2 failed
+        (1 timeout, 1 crash, 2 pool rebuilds)
+    """
+    completed = counters.get("completed", 0) + counters.get("resumed", 0)
+    points = counters.get("points",
+                          completed + counters.get("failed", 0))
+    text = (f"sweep: {completed}/{points} points completed")
+    if counters.get("resumed", 0):
+        text += f" ({counters['resumed']} resumed)"
+    text += (f", {counters.get('retried', 0)} retried, "
+             f"{counters.get('failed', 0)} failed")
+    breakdown = []
+    if counters.get("timeouts", 0):
+        breakdown.append(f"{counters['timeouts']} timeouts")
+    if counters.get("crashes", 0):
+        breakdown.append(f"{counters['crashes']} crashes")
+    if counters.get("rebuilds", 0):
+        breakdown.append(f"{counters['rebuilds']} pool rebuilds")
+    if breakdown:
+        text += f" ({', '.join(breakdown)})"
+    return text

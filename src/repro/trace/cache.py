@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import tempfile
 from pathlib import Path
 from typing import Callable
 
@@ -55,9 +56,20 @@ class TraceCache:
                 path.unlink(missing_ok=True)
         trace = builder()
         self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        write_trace(trace, tmp)
-        tmp.replace(path)
+        # Unique-per-writer temp file: concurrent sweep workers may build
+        # the same trace, and a shared temp name would let their writes
+        # interleave (or one replace() race the other's).
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory,
+                                        prefix=f".{path.stem}.",
+                                        suffix=".tmp")
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            write_trace(trace, tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return trace
 
     def clear(self) -> int:

@@ -27,4 +27,9 @@ __all__ = [
     "get_profile",
     "build_program",
     "build_trace",
+    "DEFAULT_BANDS",
+    "CalibrationBand",
+    "CalibrationReport",
+    "calibrate",
+    "calibrate_suite",
 ]

@@ -1,6 +1,5 @@
 """Trace walker semantics."""
 
-import pytest
 
 from repro.cfg import (
     MAX_CALL_DEPTH,

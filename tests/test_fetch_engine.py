@@ -1,6 +1,5 @@
 """Fetch engine: delivery, stalls, wrong-path handling."""
 
-import pytest
 
 from repro.config import CacheGeometry, CoreConfig, MemoryConfig
 from repro.cpu import Backend

@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro import FilterMode, PrefetchConfig, PrefetcherKind, SimConfig, \
     run_simulation

@@ -1,6 +1,5 @@
 """MemorySystem: the demand path, prefetch path, ports, and merges."""
 
-import pytest
 
 from repro.config import CacheGeometry, MemoryConfig
 from repro.memory import (

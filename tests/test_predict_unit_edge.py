@@ -1,6 +1,5 @@
 """Prediction unit edge cases: indirect targets, RAS abuse, truncation."""
 
-import pytest
 
 from repro.bpred import HybridPredictor, ReturnAddressStack
 from repro.config import FrontEndConfig, PredictorConfig

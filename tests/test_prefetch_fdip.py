@@ -1,6 +1,5 @@
 """FDIP prefetch engine: scanning, filtering, PIQ, squash."""
 
-import pytest
 
 from repro.config import (
     CacheGeometry,

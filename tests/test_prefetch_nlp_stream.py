@@ -1,6 +1,5 @@
 """Next-line and stream-buffer prefetchers."""
 
-import pytest
 
 from repro.config import CacheGeometry, MemoryConfig, PrefetchConfig
 from repro.frontend import FetchTargetQueue

@@ -7,7 +7,6 @@ from repro import (
     PrefetchConfig,
     PrefetcherKind,
     SimConfig,
-    Simulator,
     run_simulation,
 )
 from repro.errors import SimulationError

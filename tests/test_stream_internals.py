@@ -1,6 +1,5 @@
 """Stream-buffer internals: merges, reallocation, pending hygiene."""
 
-import pytest
 
 from repro.config import CacheGeometry, MemoryConfig, PrefetchConfig
 from repro.frontend import FetchTargetQueue
