@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast lint bench bench-full report calibrate clean
+.PHONY: install test test-fast lint bench bench-full perf report calibrate clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,9 @@ bench:
 bench-full:
 	REPRO_FULL=1 REPRO_RESULT_CACHE=.result_cache \
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+perf:
+	$(PY) -m repro perf
 
 report:
 	$(PY) -m repro report -o report.md

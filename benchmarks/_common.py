@@ -21,6 +21,7 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+from repro.api import make_runner
 from repro.harness import ExperimentTable, Runner, run_experiment
 
 _RESULTS_DIR = Path(__file__).parent / "results"
@@ -31,7 +32,7 @@ def get_runner() -> Runner:
     """The process-wide memoizing experiment runner."""
     global _runner
     if _runner is None:
-        _runner = Runner()
+        _runner = make_runner()
     return _runner
 
 

@@ -1,0 +1,25 @@
+"""Benchmark: simulator throughput (fast path vs naive cycle loop).
+
+Unlike the ``bench_e*`` experiments, which regenerate paper tables, this
+bench measures the simulator *itself*: simulated instructions per
+wall-clock second on the :data:`repro.perf.PERF_MATRIX` configurations,
+with the idle-cycle skip engine off and on.  The same measurement is
+available outside pytest as ``python -m repro perf`` (or ``make perf``),
+which also writes ``BENCH_perf.json`` and checks the committed baseline.
+"""
+
+import sys
+
+from repro import perf
+
+
+def test_perf_matrix(benchmark):
+    report = benchmark.pedantic(
+        perf.run_perf, kwargs={"length": perf.QUICK_LENGTH, "reps": 1},
+        rounds=1, iterations=1)
+    text = perf.format_report(report)
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+    for name, data in report["points"].items():
+        assert data["identical"], f"{name}: fast and naive results differ"
+    assert report["points"]["stall_heavy"]["speedup"] > 1.0

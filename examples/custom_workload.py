@@ -16,7 +16,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro import PrefetchConfig, SimConfig, run_simulation
+from repro import PrefetchConfig, SimConfig, simulate
 from repro.cfg import ProgramShape, generate_program
 from repro.stats import format_table
 from repro.trace import Trace, characterize, read_trace, write_trace
@@ -60,8 +60,8 @@ def main() -> int:
             return config.replace(frontend=dataclasses.replace(
                 config.frontend, ftq_depth=depth))
 
-        base = run_simulation(reloaded, config_for("none"))
-        fdip = run_simulation(reloaded, config_for("fdip"))
+        base = simulate(reloaded, config_for("none"))
+        fdip = simulate(reloaded, config_for("fdip"))
         rows.append([depth, base.ipc, fdip.ipc, fdip.speedup_over(base),
                      fdip.ftq_mean_occupancy])
 

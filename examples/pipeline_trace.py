@@ -13,7 +13,7 @@ Usage::
 
 import sys
 
-from repro import PrefetchConfig, SimConfig, Simulator
+from repro import PrefetchConfig, SimConfig, simulate
 from repro.analysis import PipeTracer
 from repro.workloads import ALL_WORKLOADS, build_trace
 
@@ -31,8 +31,7 @@ def main() -> int:
     tracer = PipeTracer(start=start, length=length)
     config = SimConfig(prefetch=PrefetchConfig(kind="fdip",
                                                filter_mode="enqueue"))
-    simulator = Simulator(trace, config, tracer=tracer)
-    result = simulator.run()
+    result = simulate(trace, config, tracer=tracer)
 
     print(f"{workload}: IPC {result.ipc:.3f}, "
           f"{result.mispredicts} mispredicts, "

@@ -12,7 +12,7 @@ Usage::
 
 import sys
 
-from repro import PrefetchConfig, SimConfig, run_simulation
+from repro import PrefetchConfig, SimConfig, simulate
 from repro.workloads import ALL_WORKLOADS, build_trace
 
 
@@ -32,9 +32,9 @@ def main() -> int:
                                                     filter_mode="enqueue"))
 
     print("simulating no-prefetch baseline ...")
-    baseline = run_simulation(trace, baseline_config)
+    baseline = simulate(trace, baseline_config)
     print("simulating FDIP (enqueue cache probe filtering) ...")
-    fdip = run_simulation(trace, fdip_config)
+    fdip = simulate(trace, fdip_config)
 
     print()
     print(f"{'metric':24s} {'baseline':>10s} {'fdip':>10s}")

@@ -10,14 +10,18 @@ runs on — driven by seeded synthetic workload traces.
 
 Quickstart::
 
-    from repro import SimConfig, PrefetchConfig, run_simulation
+    from repro import SimConfig, PrefetchConfig, simulate
     from repro.workloads import build_trace
 
     trace = build_trace("gcc_like", length=200_000)
     config = SimConfig(prefetch=PrefetchConfig(kind="fdip",
                                                filter_mode="enqueue"))
-    result = run_simulation(trace, config)
+    result = simulate(trace, config)
     print(result.ipc, result.l1i_mpki)
+
+The stable programmatic surface lives in :mod:`repro.api`
+(:func:`simulate`, :func:`sweep`, :func:`~repro.api.make_runner`);
+``run_simulation`` remains as a deprecated alias of ``simulate``.
 """
 
 from repro.config import (
@@ -38,6 +42,7 @@ from repro.errors import (
     SimulationError,
     TraceError,
 )
+from repro.api import make_runner, simulate, sweep
 from repro.sim import SimResult, Simulator, run_simulation
 from repro.trace import Trace, TraceRecord, characterize
 
@@ -58,6 +63,9 @@ __all__ = [
     # simulation
     "Simulator",
     "SimResult",
+    "simulate",
+    "sweep",
+    "make_runner",
     "run_simulation",
     # traces
     "Trace",

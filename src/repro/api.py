@@ -1,0 +1,99 @@
+"""Stable top-level API for running simulations and sweeps.
+
+This module is the supported entry point for programmatic use; the
+examples, benchmarks, and CLI all go through it.  It intentionally
+exposes a small surface:
+
+- :func:`simulate` — run one (trace, config) point to a
+  :class:`~repro.sim.results.SimResult`;
+- :func:`make_runner` — construct the memoizing experiment
+  :class:`~repro.harness.runner.Runner`;
+- :func:`sweep` — run many (workload, config) points fault-tolerantly
+  in parallel.
+
+Everything here is re-exported from the top-level :mod:`repro`
+package::
+
+    from repro import simulate, SimConfig, PrefetchConfig
+    from repro.workloads import build_trace
+
+    trace = build_trace("gcc_like", length=200_000)
+    result = simulate(trace, SimConfig(prefetch=PrefetchConfig(
+        kind="fdip", filter_mode="enqueue")))
+
+The legacy ``repro.run_simulation`` remains as a deprecated alias of
+:func:`simulate`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import SimConfig
+from repro.sim.results import SimResult
+from repro.sim.simulator import Simulator
+from repro.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.harness.parallel import SweepOutcome
+    from repro.harness.runner import Runner
+
+__all__ = ["simulate", "make_runner", "sweep"]
+
+
+def simulate(trace: Trace, config: SimConfig | None = None, *,
+             name: str | None = None, tracer=None,
+             fast_loop: bool | None = None) -> SimResult:
+    """Simulate ``trace`` under ``config`` and return the result.
+
+    ``config`` defaults to a stock :class:`~repro.config.SimConfig`.
+    ``name`` labels the result (defaults to the trace's name),
+    ``tracer`` attaches a per-cycle pipeline tracer (which forces the
+    naive cycle loop), and ``fast_loop`` overrides ``config.fast_loop``
+    for this run — the fast path is bit-identical to the naive loop
+    (see ``docs/performance.md``), so the default of on is safe.
+    """
+    if config is None:
+        config = SimConfig()
+    return Simulator(trace, config, name=name, tracer=tracer,
+                     fast_loop=fast_loop).run()
+
+
+def make_runner(trace_length: int | None = None, seed: int = 1,
+                warmup_fraction: float = 0.2,
+                persist_dir: str | None = None) -> "Runner":
+    """Construct the memoizing experiment runner.
+
+    A thin constructor wrapper so callers need not import
+    :mod:`repro.harness` directly; see
+    :class:`~repro.harness.runner.Runner` for the semantics of each
+    parameter.
+    """
+    from repro.harness.runner import Runner
+
+    return Runner(trace_length=trace_length, seed=seed,
+                  warmup_fraction=warmup_fraction,
+                  persist_dir=persist_dir)
+
+
+def sweep(points: "list[tuple[str, SimConfig]]", *,
+          trace_length: int | None = None, seed: int = 1,
+          warmup_fraction: float = 0.2, processes: int | None = None,
+          max_retries: int = 2, point_timeout: float | None = None,
+          checkpoint: str | None = None,
+          resume: bool = False) -> "SweepOutcome":
+    """Run many (workload name, config) points fault-tolerantly.
+
+    Fans out across ``processes`` workers with per-point retries,
+    optional timeouts, and checkpoint/resume — the same machinery the
+    experiment harness uses (see
+    :meth:`repro.harness.runner.Runner.sweep`).  Returns the
+    :class:`~repro.harness.parallel.SweepOutcome` mapping each point to
+    its result.
+    """
+    runner = make_runner(trace_length=trace_length, seed=seed,
+                         warmup_fraction=warmup_fraction)
+    return runner.sweep(points, processes=processes,
+                        max_retries=max_retries,
+                        point_timeout=point_timeout,
+                        checkpoint=checkpoint, resume=resume)

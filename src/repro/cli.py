@@ -9,6 +9,7 @@ Subcommands::
     python -m repro calibrate                    # workload band checks
     python -m repro report -o report.md          # all experiments -> md
     python -m repro sweep -t none fdip_enqueue   # fault-tolerant sweep
+    python -m repro perf                         # fast-loop throughput
 
 Every subcommand accepts ``--length`` (trace length) and ``--seed``.
 ``run`` prints a metrics table, or JSON with ``--json``.
@@ -32,8 +33,8 @@ from repro.harness import (
     parallel_sweep,
     technique_config,
 )
+from repro.api import simulate
 from repro.harness.report import generate_report
-from repro.sim import run_simulation
 from repro.stats import format_table
 from repro.trace import characterize
 from repro.workloads import ALL_WORKLOADS, build_trace, get_profile
@@ -73,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--warmup", type=int, default=0)
     p_run.add_argument("--json", action="store_true",
                        help="emit metrics as JSON")
+    p_run.add_argument("--naive-loop", action="store_true",
+                       help="disable the fast-path cycle engine "
+                            "(results are identical either way)")
     common(p_run)
 
     p_exp = sub.add_parser("experiment", help="regenerate one experiment")
@@ -110,6 +114,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="result store + sweep manifest directory "
                            "(default: $REPRO_RESULT_CACHE)")
     common(p_sw)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="measure simulated-instructions/second, fast vs naive loop")
+    p_perf.add_argument("--quick", action="store_true",
+                        help="short traces (CI smoke mode)")
+    p_perf.add_argument("--output", default=None,
+                        help="report JSON path (default: BENCH_perf.json)")
+    p_perf.add_argument("--baseline", default=None,
+                        help="baseline JSON to compare against "
+                             "(default: benchmarks/perf_baseline.json "
+                             "when it exists)")
+    p_perf.add_argument("--max-regression", type=float, default=None,
+                        help="allowed fractional fast-loop throughput "
+                             "drop vs the baseline (default 0.30)")
+    p_perf.add_argument("--length", type=int, default=None,
+                        help="trace length in instructions "
+                             "(overrides --quick)")
+    p_perf.add_argument("--reps", type=int, default=3,
+                        help="timing repetitions per point (best-of)")
 
     p_rep = sub.add_parser("report",
                            help="run every experiment, emit markdown")
@@ -159,7 +183,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = technique_config(_technique_name(args), config)
     if args.warmup:
         config = config.replace(warmup_instructions=args.warmup)
-    result = run_simulation(trace, config)
+    result = simulate(trace, config, fast_loop=not args.naive_loop)
     if args.json:
         payload = {
             "workload": result.name,
@@ -262,6 +286,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 3
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import perf
+
+    length = args.length
+    if length is None:
+        length = perf.QUICK_LENGTH if args.quick else perf.DEFAULT_LENGTH
+    report = perf.run_perf(length=length, reps=args.reps)
+    output = args.output or perf.DEFAULT_OUTPUT
+    perf.write_report(report, output)
+    print(perf.format_report(report))
+    print(f"wrote {output}", file=sys.stderr)
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(perf.DEFAULT_BASELINE):
+        baseline_path = perf.DEFAULT_BASELINE
+    failures = []
+    if baseline_path:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        max_regression = args.max_regression
+        if max_regression is None:
+            max_regression = perf.DEFAULT_MAX_REGRESSION
+        failures = perf.compare_to_baseline(report, baseline,
+                                            max_regression)
+    else:
+        failures = [f"{name}: results differ between fast and naive loop"
+                    for name, data in report["points"].items()
+                    if not data["identical"]]
+    for failure in failures:
+        print(f"PERF FAIL {failure}", file=sys.stderr)
+    return 4 if failures else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     runner = Runner(trace_length=args.length, seed=args.seed)
     text = generate_report(runner, experiment_ids=args.experiments,
@@ -292,6 +351,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_calibrate(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
         if args.command == "report":
             return _cmd_report(args)
     except ReproError as exc:

@@ -312,6 +312,12 @@ class SimConfig:
     # cycle-accurately.  Much cheaper than timed warm-up for long traces.
     fast_forward_instructions: int = 0
     max_cycles: int | None = None
+    # Idle-cycle skipping: when the whole front end is provably stalled,
+    # jump the clock to the next cycle anything can make progress.  The
+    # result is bit-identical to the naive cycle-by-cycle loop (see
+    # docs/performance.md); disable only when debugging the engine
+    # itself or driving a per-cycle tracer by hand.
+    fast_loop: bool = True
 
     def __post_init__(self) -> None:
         if self.max_instructions is not None:

@@ -91,3 +91,8 @@ class Backend:
     @property
     def drained(self) -> bool:
         return not self._window
+
+    @property
+    def next_completion(self) -> int | None:
+        """Completion cycle of the oldest instruction (None when empty)."""
+        return self._window[0] if self._window else None

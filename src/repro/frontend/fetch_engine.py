@@ -51,18 +51,25 @@ class FetchEngine:
     def stalled_on_miss(self) -> bool:
         return self._waiting_until is not None
 
-    def tick(self, now: int) -> None:
+    @property
+    def waiting_until(self) -> int | None:
+        """Cycle the pending demand fill lands (None when not stalled)."""
+        return self._waiting_until
+
+    def tick(self, now: int) -> bool:
         """Perform this cycle's fetch work.
 
         Up to ``fetch_accesses_per_cycle`` demand accesses (a banked
         cache can fetch through a block boundary or across short fetch
         blocks in one cycle), delivering at most ``fetch_width``
-        instructions total.
+        instructions total.  Returns whether any instructions were
+        delivered — the fast-path engine uses a False return as its
+        cheap pre-filter before running the exact skip analysis.
         """
         if self._waiting_until is not None:
             if now < self._waiting_until:
                 self.stats.bump("miss_stall_cycles")
-                return
+                return False
             self._waiting_until = None
 
         budget = self.core.fetch_width
@@ -73,15 +80,15 @@ class FetchEngine:
             if entry is None:
                 if access == 0:
                     self.stats.bump("ftq_empty_cycles")
-                return
+                return delivered_any
             needs_slots = (not entry.wrong_path
                            or self.core.wrong_path_in_window)
             if needs_slots and self.backend.free_slots <= 0:
                 if access == 0:
                     self.stats.bump("window_stall_cycles")
-                return
+                return delivered_any
             if budget <= 0:
-                return
+                return delivered_any
 
             addr = entry.next_fetch_pc
             bid = addr // self._block_bytes
@@ -91,14 +98,13 @@ class FetchEngine:
             if result.outcome == RETRY:
                 if access == 0:
                     self.stats.bump("mshr_stall_cycles")
-                return
+                return delivered_any
             if not result.is_hit:
                 self._waiting_until = result.ready_cycle
                 self.stats.bump("demand_misses")
                 if access == 0:
                     self.stats.bump("miss_stall_cycles")
-                return
-
+                return delivered_any
             budget -= self._deliver(entry, addr, bid, now, budget)
             if not delivered_any:
                 self.stats.bump("active_cycles")
@@ -106,6 +112,7 @@ class FetchEngine:
             if entry.wrong_path and not wrong_any:
                 self.stats.bump("wrong_path_cycles")
                 wrong_any = True
+        return delivered_any
 
     # ------------------------------------------------------------------
 

@@ -25,7 +25,7 @@ from repro.stats import StatGroup
 __all__ = ["FTQEntry", "FetchTargetQueue"]
 
 
-@dataclass
+@dataclass(slots=True)
 class FTQEntry:
     """One predicted fetch block in the FTQ."""
 
@@ -73,6 +73,8 @@ class FTQEntry:
 
 class FetchTargetQueue:
     """Bounded FIFO of :class:`FTQEntry`."""
+
+    __slots__ = ("depth", "stats", "_entries")
 
     def __init__(self, depth: int):
         if depth < 1:
@@ -123,6 +125,14 @@ class FetchTargetQueue:
         for entry in window:
             if not entry.prefetch_scanned:
                 yield entry
+
+    def has_unscanned(self, start: int = 1,
+                      stop: int | None = None) -> bool:
+        """Whether :meth:`prefetch_candidates` would yield anything."""
+        for entry in self._entries[start:stop]:
+            if not entry.prefetch_scanned:
+                return True
+        return False
 
     def clear(self) -> int:
         """Squash: drop every entry; returns how many were dropped.

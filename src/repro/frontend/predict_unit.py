@@ -75,6 +75,16 @@ class PredictUnit:
     def awaiting_resolution(self) -> bool:
         return self._pending_mispredict is not None
 
+    @property
+    def ftb_wait_until(self) -> int | None:
+        """Cycle a pending L2-FTB promotion completes (None when idle)."""
+        return self._ftb_wait_until
+
+    @property
+    def out_of_records(self) -> bool:
+        """Every correct-path trace record has been consumed."""
+        return self._cursor >= len(self._records)
+
     def tick(self, now: int, ftq: FetchTargetQueue) -> FTQEntry | None:
         """Produce at most one fetch block into ``ftq``."""
         if ftq.full:

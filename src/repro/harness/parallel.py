@@ -42,8 +42,11 @@ from repro.harness.supervise import (
     TaskFailure,
     run_supervised,
 )
+# Bound as a module-level name (rather than called through repro.api)
+# so tests can monkeypatch `repro.harness.parallel.run_simulation`.
+from repro.api import simulate as run_simulation
 from repro.errors import RetryExhaustedError
-from repro.sim import SimResult, guard_invariants, run_simulation
+from repro.sim import SimResult, guard_invariants
 from repro.stats.sweep import merge_counters, summary_line
 from repro.workloads import build_trace
 

@@ -12,8 +12,11 @@ from __future__ import annotations
 import math
 
 from repro import env
+# Bound as a module-level name (rather than called through repro.api)
+# so tests can monkeypatch `repro.harness.runner.run_simulation`.
+from repro.api import simulate as run_simulation
 from repro.config import SimConfig
-from repro.sim import SimResult, run_simulation
+from repro.sim import SimResult
 from repro.stats.sweep import merge_counters
 from repro.trace import Trace
 from repro.workloads import build_trace

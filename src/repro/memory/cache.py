@@ -20,6 +20,9 @@ __all__ = ["SetAssociativeCache"]
 class SetAssociativeCache:
     """LRU set-associative cache keyed by block id."""
 
+    __slots__ = ("geometry", "name", "stats", "_num_sets", "_assoc",
+                 "_sets")
+
     def __init__(self, geometry: CacheGeometry, name: str = "cache"):
         self.geometry = geometry
         self.name = name

@@ -127,6 +127,11 @@ class MemorySystem:
             if self.sidecar is not None:
                 self.sidecar.fill_merged(bid)
 
+    @property
+    def next_event_cycle(self) -> int | None:
+        """Earliest pending fill-completion cycle (None when none)."""
+        return self._events[0][0] if self._events else None
+
     def drain_in_flight(self) -> None:
         """Complete every outstanding fill immediately (end of simulation)."""
         while self._events:

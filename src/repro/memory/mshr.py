@@ -16,7 +16,7 @@ from repro.stats import StatGroup
 __all__ = ["MshrFile", "MshrEntry"]
 
 
-@dataclass
+@dataclass(slots=True)
 class MshrEntry:
     """One in-flight fill."""
 

@@ -1,0 +1,170 @@
+"""Simulation-throughput benchmark: the fast path versus the naive loop.
+
+Measures simulated instructions per wall-clock second on a small matrix
+of configurations chosen to bracket the fast path's best and worst
+cases:
+
+- ``stall_heavy`` — no prefetching, an instruction working set several
+  times the L1-I, and an extreme memory latency.  The machine spends
+  almost all of its cycles fully stalled on fills, which is exactly the
+  pattern the idle-cycle skip engine collapses.
+- ``prefetch_saturated`` — FDIP with enqueue filtering at stock
+  latencies.  The prefetcher touches the memory system nearly every
+  cycle, so almost nothing is skippable; this point exists to verify
+  that the skip machinery costs (close to) nothing when it cannot help.
+
+Each point is simulated with the fast loop off and on, best-of-``reps``
+timing, and the two :class:`~repro.sim.results.SimResult` objects are
+compared for full equality — the benchmark doubles as an end-to-end
+equivalence check.  Results are written as JSON (``BENCH_perf.json`` by
+default) and optionally compared against a committed baseline
+(``benchmarks/perf_baseline.json``), failing when fast-loop
+instructions/second regresses by more than ``max_regression``.
+
+Run it via ``python -m repro perf`` or ``make perf``; interpretation
+notes live in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.api import simulate
+from repro.cfg import ProgramShape, generate_program
+from repro.config import PrefetchConfig, SimConfig
+from repro.sim.results import SimResult
+from repro.trace import Trace
+
+__all__ = ["PerfPoint", "PERF_MATRIX", "run_perf", "compare_to_baseline",
+           "write_report"]
+
+DEFAULT_OUTPUT = "BENCH_perf.json"
+DEFAULT_BASELINE = "benchmarks/perf_baseline.json"
+DEFAULT_LENGTH = 40_000
+QUICK_LENGTH = 15_000
+DEFAULT_MAX_REGRESSION = 0.30
+
+# Working set of ~64KB (16k instructions x 4B) against a 16KB L1-I:
+# capacity misses on every pass through the program.
+_SHAPE = ProgramShape(target_instrs=16384, n_functions=48, n_levels=6,
+                      dispatcher_fanout=6)
+_PROGRAM_SEED = 11
+_TRACE_SEED = 3
+
+
+@dataclass(frozen=True)
+class PerfPoint:
+    """One (name, config) cell of the benchmark matrix."""
+
+    name: str
+    config: SimConfig
+    description: str
+
+
+def _stall_heavy() -> SimConfig:
+    config = SimConfig(prefetch=PrefetchConfig(kind="none"))
+    return replace(config,
+                   memory=replace(config.memory, memory_latency=1600))
+
+
+def _prefetch_saturated() -> SimConfig:
+    return SimConfig(prefetch=PrefetchConfig(kind="fdip",
+                                             filter_mode="enqueue"))
+
+
+PERF_MATRIX: tuple[PerfPoint, ...] = (
+    PerfPoint("stall_heavy", _stall_heavy(),
+              "no prefetch, thrashing L1-I, 1600-cycle memory"),
+    PerfPoint("prefetch_saturated", _prefetch_saturated(),
+              "fdip/enqueue at stock latencies"),
+)
+
+
+def _build_trace(length: int) -> Trace:
+    program = generate_program(_SHAPE, seed=_PROGRAM_SEED)
+    return Trace.from_program(program, length, seed=_TRACE_SEED)
+
+
+def _time_run(trace: Trace, config: SimConfig, fast: bool,
+              reps: int) -> tuple[float, SimResult]:
+    """Best-of-``reps`` wall time for one configuration."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = simulate(trace, config, fast_loop=fast)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def run_perf(length: int = DEFAULT_LENGTH, reps: int = 3,
+             points: Iterable[PerfPoint] = PERF_MATRIX) -> dict:
+    """Run the benchmark matrix; returns the report dict."""
+    trace = _build_trace(length)
+    report = {"version": 1, "length": length, "reps": reps, "points": {}}
+    for point in points:
+        naive_s, naive_result = _time_run(trace, point.config, False, reps)
+        fast_s, fast_result = _time_run(trace, point.config, True, reps)
+        instructions = len(trace)
+        report["points"][point.name] = {
+            "description": point.description,
+            "instructions": instructions,
+            "naive_seconds": round(naive_s, 6),
+            "fast_seconds": round(fast_s, 6),
+            "naive_ips": round(instructions / naive_s, 1),
+            "fast_ips": round(instructions / fast_s, 1),
+            "speedup": round(naive_s / fast_s, 3),
+            "identical": naive_result == fast_result,
+            "cycles": fast_result.cycles,
+        }
+    return report
+
+
+def compare_to_baseline(report: dict, baseline: dict,
+                        max_regression: float = DEFAULT_MAX_REGRESSION,
+                        ) -> list[str]:
+    """Failure messages for points regressing beyond ``max_regression``.
+
+    Compares fast-loop instructions/second point by point; a point
+    missing from the baseline is skipped (it is new).  An empty list
+    means the report is acceptable.
+    """
+    failures = []
+    for name, data in report["points"].items():
+        base = baseline.get("points", {}).get(name)
+        if base is None:
+            continue
+        floor = base["fast_ips"] * (1.0 - max_regression)
+        if data["fast_ips"] < floor:
+            failures.append(
+                f"{name}: fast-loop throughput {data['fast_ips']:.0f} "
+                f"instr/s is below {floor:.0f} (baseline "
+                f"{base['fast_ips']:.0f} - {max_regression:.0%})")
+    for name, data in report["points"].items():
+        if not data["identical"]:
+            failures.append(
+                f"{name}: fast and naive results DIFFER — the fast "
+                f"path is broken, fix before worrying about speed")
+    return failures
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+
+
+def format_report(report: dict) -> str:
+    lines = [f"perf: {report['length']} instructions, "
+             f"best of {report['reps']}"]
+    for name, data in report["points"].items():
+        lines.append(
+            f"  {name:20s} naive {data['naive_ips']:>12,.0f} instr/s   "
+            f"fast {data['fast_ips']:>12,.0f} instr/s   "
+            f"speedup {data['speedup']:.2f}x   "
+            f"{'identical' if data['identical'] else 'RESULTS DIFFER'}")
+    return "\n".join(lines)

@@ -1,11 +1,28 @@
-"""Instruction prefetchers: FDIP and the paper's baselines."""
+"""Instruction prefetchers: FDIP, the paper's baselines, and the registry.
+
+Technique selection is registry driven: importing this package registers
+the built-in kinds (``none``, ``nlp``, ``stream``, ``fdip``,
+``fdip_nlp``), and :func:`make_prefetcher` instantiates whichever kind a
+``SimConfig`` selects.  Third-party techniques join via
+:func:`register` without touching the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.prefetch.base import Prefetcher
+from repro.prefetch.registry import create, register, registered_kinds
+# Importing the technique modules registers the built-in kinds.
 from repro.prefetch.combined import CombinedPrefetcher
 from repro.prefetch.fdip import FdipPrefetcher, PrefetchBufferSidecar
 from repro.prefetch.nlp import NlpPrefetcher
 from repro.prefetch.none import NonePrefetcher
 from repro.prefetch.stream import StreamBufferPrefetcher
+
+if TYPE_CHECKING:
+    from repro.config import SimConfig
+    from repro.memory.hierarchy import MemorySystem
 
 __all__ = [
     "Prefetcher",
@@ -15,4 +32,19 @@ __all__ = [
     "StreamBufferPrefetcher",
     "FdipPrefetcher",
     "PrefetchBufferSidecar",
+    "register",
+    "registered_kinds",
+    "make_prefetcher",
 ]
+
+
+def make_prefetcher(config: "SimConfig",
+                    memory: "MemorySystem") -> Prefetcher:
+    """Instantiate the prefetcher selected by ``config.prefetch.kind``.
+
+    Resolution goes through the registry, so kinds added with
+    :func:`register` work everywhere a built-in does; an unknown kind
+    raises :class:`~repro.errors.SimulationError` naming the registered
+    alternatives.
+    """
+    return create(config.prefetch.kind, memory, config.prefetch)

@@ -10,6 +10,16 @@ A prefetcher plugs into the simulator at three points:
   prefetches (FDIP), or to drain internal request queues.
 
 :meth:`squash` is called on every pipeline flush.
+
+Fast-path contract: the idle-cycle skip engine (see
+:mod:`repro.sim.fastpath`) may only jump over a cycle when every
+component provably does nothing in it.  :meth:`quiescent` must return
+True only if, given no new demand accesses or fills, :meth:`tick` would
+leave *all* observable state (queues, buffers, statistics) untouched.
+:meth:`on_skip` is then called once per skipped window so prefetchers
+that keep an internal clock can catch it up to the last skipped cycle.
+The conservative default (never quiescent) keeps third-party
+prefetchers correct at the cost of the fast path.
 """
 
 from __future__ import annotations
@@ -42,6 +52,25 @@ class Prefetcher(ABC):
 
     def on_demand(self, bid: int, outcome: str, now: int) -> None:
         """Feedback for one demand access (default: ignore)."""
+
+    def quiescent(self, ftq: FetchTargetQueue) -> bool:
+        """True when :meth:`tick` would be a complete no-op.
+
+        Only consulted by the fast-path engine while the front end is
+        fully stalled.  Must be exact: a prefetcher that would mutate
+        any state — including bumping a counter for a rejected issue —
+        must answer False.  The default is conservatively False.
+        """
+        return False
+
+    def on_skip(self, last_cycle: int) -> None:
+        """The simulator skipped idle cycles up to ``last_cycle``.
+
+        Called only when :meth:`quiescent` returned True for the whole
+        window; prefetchers with an internal cycle clock (stream
+        buffers) update it here so later LRU decisions match the naive
+        cycle-by-cycle loop bit for bit.
+        """
 
     def squash(self) -> None:
         """Pipeline flush notification (default: nothing to drop)."""

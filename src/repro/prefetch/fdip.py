@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.config import FilterMode, PrefetchConfig
+from repro.config import FilterMode, PrefetchConfig, PrefetcherKind
 from repro.errors import SimulationError
 from repro.frontend.ftq import FetchTargetQueue
 from repro.memory.block import blocks_spanning
@@ -38,6 +38,7 @@ from repro.memory.hierarchy import MemorySystem, Sidecar
 from repro.memory.mshr import MshrEntry
 from repro.memory.prefetch_buffer import PrefetchBuffer
 from repro.prefetch.base import Prefetcher
+from repro.prefetch.registry import register
 
 __all__ = ["FdipPrefetcher", "PrefetchBufferSidecar"]
 
@@ -59,6 +60,7 @@ class PrefetchBufferSidecar:
         """The block went straight to the L1-I; nothing to buffer."""
 
 
+@register(PrefetcherKind.FDIP)
 class FdipPrefetcher(Prefetcher):
     """The FDIP prefetch engine with cache probe filtering."""
 
@@ -79,6 +81,14 @@ class FdipPrefetcher(Prefetcher):
         return len(self._piq)
 
     # ------------------------------------------------------------------
+
+    def quiescent(self, ftq: FetchTargetQueue) -> bool:
+        # An empty PIQ silences the remove filter and the issue stage;
+        # with no unscanned FTQ entry in the lookahead window the scan
+        # stage has nothing to consume either, so tick is a no-op.
+        return (not self._piq
+                and not ftq.has_unscanned(self.config.min_lookahead,
+                                          self.config.max_lookahead))
 
     def tick(self, now: int, ftq: FetchTargetQueue) -> None:
         if self.config.filter_mode == FilterMode.REMOVE:

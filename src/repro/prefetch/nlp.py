@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.config import PrefetchConfig
+from repro.config import PrefetchConfig, PrefetcherKind
 from repro.frontend.ftq import FetchTargetQueue
 from repro.memory.hierarchy import (
     HIT_L1,
@@ -27,6 +27,7 @@ from repro.memory.hierarchy import (
 from repro.memory.mshr import MshrEntry
 from repro.memory.prefetch_buffer import PrefetchBuffer
 from repro.prefetch.base import Prefetcher
+from repro.prefetch.registry import register
 
 __all__ = ["NlpPrefetcher"]
 
@@ -53,6 +54,7 @@ class _TaggedBufferSidecar:
         not-yet-used prefetch, so it carries no tag."""
 
 
+@register(PrefetcherKind.NLP)
 class NlpPrefetcher(Prefetcher):
     """Tagged next-line instruction prefetcher."""
 
@@ -104,6 +106,11 @@ class NlpPrefetcher(Prefetcher):
 
     def lead_histogram(self) -> dict[int, int]:
         return self.buffer.stats.histogram("lead_cycles").as_dict()
+
+    def quiescent(self, ftq: FetchTargetQueue) -> bool:
+        # With an empty request queue tick touches nothing; a non-empty
+        # queue keeps probing/issuing (and bumping counters) every cycle.
+        return not self._requests
 
     def tick(self, now: int, ftq: FetchTargetQueue) -> None:
         issued = 0

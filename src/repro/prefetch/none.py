@@ -2,17 +2,21 @@
 
 from __future__ import annotations
 
+from repro.config import PrefetchConfig, PrefetcherKind
 from repro.frontend.ftq import FetchTargetQueue
 from repro.memory.hierarchy import MemorySystem, Sidecar
 from repro.prefetch.base import Prefetcher
+from repro.prefetch.registry import register
 
 __all__ = ["NonePrefetcher"]
 
 
+@register(PrefetcherKind.NONE)
 class NonePrefetcher(Prefetcher):
     """Issues no prefetches; every L1-I miss pays full latency."""
 
-    def __init__(self, memory: MemorySystem):
+    def __init__(self, memory: MemorySystem,
+                 config: PrefetchConfig | None = None):
         super().__init__("nopf", memory)
 
     @property
@@ -21,3 +25,6 @@ class NonePrefetcher(Prefetcher):
 
     def tick(self, now: int, ftq: FetchTargetQueue) -> None:
         """Nothing to do."""
+
+    def quiescent(self, ftq: FetchTargetQueue) -> bool:
+        return True

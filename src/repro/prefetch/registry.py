@@ -1,0 +1,70 @@
+"""Pluggable prefetcher registry.
+
+New prefetching techniques plug into the simulator by registering a
+factory under their kind string — no edits to ``sim/simulator.py``::
+
+    from repro.prefetch import Prefetcher, register
+
+    @register("my_prefetcher")
+    class MyPrefetcher(Prefetcher):
+        def __init__(self, memory, config):
+            ...
+
+A factory is any callable ``(memory, prefetch_config) -> Prefetcher``;
+registering a class works because its constructor has that shape.  The
+built-in techniques (none/nlp/stream/fdip/fdip_nlp) register themselves
+on import of :mod:`repro.prefetch`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.config import PrefetchConfig
+    from repro.memory.hierarchy import MemorySystem
+    from repro.prefetch.base import Prefetcher
+
+__all__ = ["register", "create", "registered_kinds"]
+
+_FACTORIES: dict[str, Callable] = {}
+
+
+def register(kind: str, *, replace: bool = False):
+    """Class/function decorator registering a prefetcher factory.
+
+    ``kind`` is the string used in ``PrefetchConfig.kind``.  Registering
+    an already-taken kind raises unless ``replace=True`` (useful in
+    tests and for deliberately shadowing a built-in).
+    """
+    if not isinstance(kind, str) or not kind:
+        raise SimulationError("prefetcher kind must be a non-empty string")
+
+    def decorate(factory):
+        if not replace and kind in _FACTORIES:
+            raise SimulationError(
+                f"prefetcher kind {kind!r} is already registered "
+                f"({_FACTORIES[kind]!r}); pass replace=True to override")
+        _FACTORIES[kind] = factory
+        return factory
+
+    return decorate
+
+
+def registered_kinds() -> tuple[str, ...]:
+    """All registered kind strings, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def create(kind: str, memory: "MemorySystem",
+           config: "PrefetchConfig") -> "Prefetcher":
+    """Instantiate the prefetcher registered under ``kind``."""
+    factory = _FACTORIES.get(kind)
+    if factory is None:
+        known = ", ".join(registered_kinds()) or "<none>"
+        raise SimulationError(
+            f"unknown prefetcher kind {kind!r}; registered kinds: {known}. "
+            f"Add one with @repro.prefetch.register({kind!r}).")
+    return factory(memory, config)

@@ -18,16 +18,17 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.config import PrefetchConfig
+from repro.config import PrefetchConfig, PrefetcherKind
 from repro.frontend.ftq import FetchTargetQueue
 from repro.memory.hierarchy import MISS, MemorySystem, Sidecar
 from repro.memory.mshr import MshrEntry
 from repro.prefetch.base import Prefetcher
+from repro.prefetch.registry import register
 
 __all__ = ["StreamBufferPrefetcher"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Slot:
     bid: int
     arrived: bool = False
@@ -56,6 +57,7 @@ class _StreamBuffer:
         return self.active and len(self.slots) < self.depth
 
 
+@register(PrefetcherKind.STREAM)
 class StreamBufferPrefetcher(Prefetcher):
     """Multi-buffer sequential stream prefetcher."""
 
@@ -158,6 +160,17 @@ class StreamBufferPrefetcher(Prefetcher):
     # ------------------------------------------------------------------
     # Issue
     # ------------------------------------------------------------------
+
+    def quiescent(self, ftq: FetchTargetQueue) -> bool:
+        # A buffer wanting a request issues (or bumps rejection counters)
+        # every cycle; otherwise tick only refreshes the internal clock,
+        # which on_skip reproduces.
+        return not any(buffer.wants_request for buffer in self.buffers)
+
+    def on_skip(self, last_cycle: int) -> None:
+        # The naive loop sets _now on every tick; catch the clock up so
+        # LRU timestamps taken before our next tick are identical.
+        self._now = last_cycle
 
     def tick(self, now: int, ftq: FetchTargetQueue) -> None:
         self._now = now

@@ -1,0 +1,142 @@
+"""Idle-cycle skip planning for the fast-path cycle engine.
+
+A trace-driven run spends most of its cycles with every component
+stalled: fetch blocked on a fill, the prediction unit blocked on a full
+FTQ (or an L2-FTB promotion, or an unresolved misprediction), the
+prefetcher with nothing queued.  Each such cycle does nothing but bump
+one stall counter per stalled component and record an (unchanged) FTQ
+occupancy sample.
+
+:func:`plan_skip` recognises exactly those cycles *by proof*, not by
+heuristic: it returns a plan only when every component's next tick is
+known to be a pure stall-counter bump, and computes the earliest future
+cycle at which anything can change:
+
+- the next memory fill completion (``MemorySystem.next_event_cycle``),
+- the next backend instruction completion (``Backend.next_completion``),
+- the scheduled branch-resolution cycle,
+- the cycle fetch's pending demand fill lands (``waiting_until``),
+- the cycle a pending L2-FTB promotion completes (``ftb_wait_until``).
+
+The simulator then jumps the clock to one cycle before that bound and
+batch-applies the per-cycle bookkeeping the naive loop would have done
+(the stall counters, the occupancy samples, the prefetcher's internal
+clock), making fast and naive runs **bit-identical** — the same
+``SimResult``, counter for counter.  The equivalence matrix lives in
+``tests/test_fast_loop_equivalence.py``; the invariants each component
+must uphold are documented in ``docs/performance.md``.
+
+Why each gate is sound, in cycle-schedule order:
+
+1. ``memory.begin_cycle`` only completes fills due this cycle; with the
+   skip bounded by ``next_event_cycle`` no fill is due in the window.
+2. ``backend.retire`` retires nothing before ``next_completion``; a
+   non-empty window bumps ``retire_stall_cycles`` once per cycle.
+3. Resolution is bounded by ``_resolve_at``.
+4. The fetch engine, when stalled, bumps exactly one of
+   ``miss_stall_cycles`` / ``ftq_empty_cycles`` / ``window_stall_cycles``
+   and returns.  Its stall cannot clear mid-window: the fill bound, the
+   FTQ (nobody pushes — predict is stalled too), and the backend window
+   (no retirement before ``next_completion``) are all pinned.
+5. The prediction unit checks FTQ-full *before* the L2-FTB wait, so a
+   full FTQ contributes no wait bound; the other stall states bound or
+   pin themselves the same way.  Running out of trace records is a
+   silent no-op (no counter).
+6. The prefetcher must declare itself :meth:`~repro.prefetch.base.
+   Prefetcher.quiescent` — with no demand accesses, fills, or FTQ pushes
+   in the window, quiescence is stable until the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import Simulator
+
+__all__ = ["SkipPlan", "plan_skip"]
+
+
+@dataclass(slots=True)
+class SkipPlan:
+    """A provably idle window and the bookkeeping it owes."""
+
+    target: int               # first cycle at which anything can change
+    cycles: int               # skipped cycles: target - current - 1
+    fetch_counter: str        # fetch stall counter to bump per cycle
+    predict_counter: str | None   # predict stall counter (None: silent)
+    retire_stalled: bool      # backend window non-empty in the window
+
+
+def plan_skip(sim: "Simulator", cycle: int,
+              max_cycles: int) -> SkipPlan | None:
+    """Plan a jump from ``cycle`` over provably idle cycles.
+
+    Returns None when any component could do real work next cycle.  The
+    returned plan never jumps past ``max_cycles + 1``, so the cycle-cap
+    deadlock error fires with identical state to the naive loop; a fully
+    deadlocked machine (no bound at all) jumps straight to the cap.
+    """
+    bounds = []
+
+    # --- fetch engine ------------------------------------------------
+    fetch = sim.fetch_engine
+    waiting = fetch.waiting_until
+    if waiting is not None:
+        fetch_counter = "miss_stall_cycles"
+        bounds.append(waiting)
+    else:
+        head = sim.ftq.head()
+        if head is None:
+            fetch_counter = "ftq_empty_cycles"
+        elif ((not head.wrong_path or sim.config.core.wrong_path_in_window)
+                and sim.backend.free_slots <= 0):
+            fetch_counter = "window_stall_cycles"
+        else:
+            return None   # fetch would access the memory system
+
+    # --- prediction unit ---------------------------------------------
+    predict = sim.predict_unit
+    if sim.ftq.full:
+        # tick checks FTQ-full before the L2-FTB wait, so a pending
+        # promotion neither clears nor bounds anything while full.
+        predict_counter = "ftq_full_stalls"
+    else:
+        ftb_wait = predict.ftb_wait_until
+        if ftb_wait is not None:
+            predict_counter = "ftb_l2_stall_cycles"
+            bounds.append(ftb_wait)
+        elif predict.awaiting_resolution:
+            if sim.config.frontend.model_wrong_path:
+                return None   # producing wrong-path blocks every cycle
+            predict_counter = "mispredict_stall_cycles"
+        elif predict.out_of_records:
+            predict_counter = None   # exhausted trace: silent no-op
+        else:
+            return None   # would produce a fetch block
+
+    # --- prefetch engine ----------------------------------------------
+    if not sim.prefetcher.quiescent(sim.ftq):
+        return None
+
+    # --- progress bounds ----------------------------------------------
+    next_fill = sim.memory.next_event_cycle
+    if next_fill is not None:
+        bounds.append(next_fill)
+    next_completion = sim.backend.next_completion
+    if next_completion is not None:
+        bounds.append(next_completion)
+    if sim._resolve_at is not None:
+        bounds.append(sim._resolve_at)
+
+    target = min(bounds) if bounds else max_cycles + 1
+    if target > max_cycles + 1:
+        target = max_cycles + 1
+    skipped = target - cycle - 1
+    if skipped <= 0:
+        return None
+    return SkipPlan(target=target, cycles=skipped,
+                    fetch_counter=fetch_counter,
+                    predict_counter=predict_counter,
+                    retire_stalled=next_completion is not None)

@@ -18,24 +18,22 @@ stay warm).
 
 from __future__ import annotations
 
+import warnings
+
 from repro.bpred import ReturnAddressStack, make_direction_predictor
-from repro.config import PrefetcherKind, SimConfig
+from repro.config import SimConfig
 from repro.cpu import Backend
 from repro.errors import SimulationError
 from repro.frontend import FetchEngine, FetchTargetQueue, FTQEntry, \
     PredictUnit
 from repro.ftb import FetchTargetBuffer, TwoLevelFTB
 from repro.memory import MemorySystem
-from repro.prefetch import (
-    CombinedPrefetcher,
-    FdipPrefetcher,
-    NlpPrefetcher,
-    NonePrefetcher,
-    Prefetcher,
-    StreamBufferPrefetcher,
-)
+# Re-exported for backward compatibility: kind resolution now lives in
+# the prefetcher registry (see repro/prefetch/__init__.py).
+from repro.prefetch import make_prefetcher  # noqa: F401
+from repro.sim.fastpath import plan_skip
 from repro.sim.results import SimResult
-from repro.stats import StatGroup
+from repro.stats import RunLengthObserver, StatGroup
 from repro.trace import Trace
 
 __all__ = ["Simulator", "make_prefetcher", "run_simulation"]
@@ -43,27 +41,22 @@ __all__ = ["Simulator", "make_prefetcher", "run_simulation"]
 _DEFAULT_CYCLE_CAP_PER_INSTR = 200
 
 
-def make_prefetcher(config: SimConfig, memory: MemorySystem) -> Prefetcher:
-    """Instantiate the prefetcher selected by ``config.prefetch.kind``."""
-    kind = config.prefetch.kind
-    if kind == PrefetcherKind.NONE:
-        return NonePrefetcher(memory)
-    if kind == PrefetcherKind.NLP:
-        return NlpPrefetcher(memory, config.prefetch)
-    if kind == PrefetcherKind.STREAM:
-        return StreamBufferPrefetcher(memory, config.prefetch)
-    if kind == PrefetcherKind.FDIP:
-        return FdipPrefetcher(memory, config.prefetch)
-    if kind == PrefetcherKind.COMBINED:
-        return CombinedPrefetcher(memory, config.prefetch)
-    raise SimulationError(f"unknown prefetcher kind {kind!r}")
-
-
 class Simulator:
-    """One configured machine, ready to run one trace."""
+    """One configured machine, ready to run one trace.
 
-    def __init__(self, trace: Trace, config: SimConfig,
-                 name: str | None = None, tracer=None):
+    Everything beyond the trace and config is keyword-only:
+
+    - ``name`` labels the result (defaults to the trace's name);
+    - ``tracer`` attaches a per-cycle pipeline tracer (disables the
+      fast path — a tracer observes every cycle by definition);
+    - ``fast_loop`` overrides ``config.fast_loop`` for this run.  The
+      fast path skips provably idle cycles in one jump and is
+      bit-identical to the naive loop (see ``docs/performance.md``).
+    """
+
+    def __init__(self, trace: Trace, config: SimConfig, *,
+                 name: str | None = None, tracer=None,
+                 fast_loop: bool | None = None):
         if config.max_instructions is not None \
                 and config.max_instructions < len(trace):
             trace = trace.slice(0, config.max_instructions)
@@ -103,6 +96,8 @@ class Simulator:
 
         self.cycle = 0
         self.tracer = tracer
+        self.fast_loop = config.fast_loop if fast_loop is None else fast_loop
+        self.skipped_cycles = 0   # diagnostics only; not a statistic
         self._resolve_at: int | None = None
         self._resolve_entry: FTQEntry | None = None
         self._warmed = config.warmup_instructions == 0
@@ -189,30 +184,69 @@ class Simulator:
         if max_cycles is None:
             max_cycles = _DEFAULT_CYCLE_CAP_PER_INSTR * total + 100_000
 
-        occupancy = self.stats.histogram("ftq_occupancy")
-        while self.backend.retired < total:
+        # A tracer observes every cycle; it forces the naive loop.
+        fast = self.fast_loop and self.tracer is None
+        tracer = self.tracer
+        memory = self.memory
+        backend = self.backend
+        fetch_engine = self.fetch_engine
+        predict_unit = self.predict_unit
+        prefetcher = self.prefetcher
+        ftq = self.ftq
+
+        occupancy = RunLengthObserver(self.stats.histogram("ftq_occupancy"))
+        while backend.retired < total:
             self.cycle += 1
             cycle = self.cycle
             if cycle > max_cycles:
                 raise SimulationError(
                     f"cycle cap exceeded ({max_cycles}); retired "
-                    f"{self.backend.retired}/{total} — likely a deadlock")
-            self.memory.begin_cycle(cycle)
-            self.backend.retire(cycle)
+                    f"{backend.retired}/{total} — likely a deadlock")
+            memory.begin_cycle(cycle)
+            backend.retire(cycle)
             if self._resolve_at is not None and cycle >= self._resolve_at:
                 self._squash_and_redirect()
-            self.fetch_engine.tick(cycle)
-            self.predict_unit.tick(cycle, self.ftq)
-            self.prefetcher.tick(cycle, self.ftq)
-            occupancy.observe(self.ftq.occupancy())
-            if self.tracer is not None:
-                self.tracer.record(cycle, self)
+            fetched = fetch_engine.tick(cycle)
+            predict_unit.tick(cycle, ftq)
+            prefetcher.tick(cycle, ftq)
+            occupancy.observe(ftq.occupancy())
+            if tracer is not None:
+                tracer.record(cycle, self)
 
-            if not self._warmed and self.backend.retired >= warmup:
+            if not self._warmed and backend.retired >= warmup:
+                occupancy.flush()
                 self._reset_measurement()
-                occupancy = self.stats.histogram("ftq_occupancy")
+                occupancy = RunLengthObserver(
+                    self.stats.histogram("ftq_occupancy"))
+            elif fast and not fetched and backend.retired < total:
+                # (the fetched guard merely pre-filters active cycles;
+                # the retired guard keeps the loop's exit cycle — and
+                # therefore the reported cycle count — identical)
+                plan = plan_skip(self, cycle, max_cycles)
+                if plan is not None:
+                    self._apply_skip(plan, occupancy)
 
+        occupancy.flush()
         return self._collect()
+
+    def _apply_skip(self, plan, occupancy: RunLengthObserver) -> None:
+        """Batch-apply the bookkeeping of ``plan.cycles`` idle cycles.
+
+        Bumps exactly the stall counters the naive loop would have,
+        records the (constant) FTQ occupancy samples, lets the
+        prefetcher catch up its internal clock, and jumps the cycle
+        counter to one before the plan's progress bound.
+        """
+        n = plan.cycles
+        self.fetch_engine.stats.bump(plan.fetch_counter, n)
+        if plan.predict_counter is not None:
+            self.predict_unit.stats.bump(plan.predict_counter, n)
+        if plan.retire_stalled:
+            self.backend.stats.bump("retire_stall_cycles", n)
+        occupancy.observe(self.ftq.occupancy(), n)
+        self.prefetcher.on_skip(plan.target - 1)
+        self.cycle = plan.target - 1
+        self.skipped_cycles += n
 
     def _reset_measurement(self) -> None:
         self._warmed = True
@@ -281,5 +315,13 @@ class Simulator:
 
 def run_simulation(trace: Trace, config: SimConfig,
                    name: str | None = None) -> SimResult:
-    """Build a :class:`Simulator` and run it to completion."""
+    """Build a :class:`Simulator` and run it to completion.
+
+    .. deprecated::
+        Use :func:`repro.api.simulate` instead; this wrapper remains
+        for backward compatibility and will be removed eventually.
+    """
+    warnings.warn(
+        "run_simulation is deprecated; use repro.api.simulate instead",
+        DeprecationWarning, stacklevel=2)
     return Simulator(trace, config, name=name).run()

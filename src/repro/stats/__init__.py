@@ -1,6 +1,6 @@
 """Statistics primitives and report formatting."""
 
-from repro.stats.counters import Histogram, StatGroup
+from repro.stats.counters import Histogram, RunLengthObserver, StatGroup
 from repro.stats.report import (
     format_table,
     format_value,
@@ -15,6 +15,7 @@ from repro.stats.sweep import (
 
 __all__ = [
     "Histogram",
+    "RunLengthObserver",
     "StatGroup",
     "format_table",
     "format_value",

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import Counter as _Counter
 from typing import Iterator
 
-__all__ = ["StatGroup", "Histogram"]
+__all__ = ["StatGroup", "Histogram", "RunLengthObserver"]
 
 
 class Histogram:
@@ -20,6 +20,8 @@ class Histogram:
     Samples are integers (for example, FTQ occupancy per cycle, or fetch
     block lengths).  Only observed values consume storage.
     """
+
+    __slots__ = ("_counts", "_total", "_sum")
 
     def __init__(self) -> None:
         self._counts: _Counter[int] = _Counter()
@@ -85,6 +87,41 @@ class Histogram:
                 f"distinct={len(self._counts)})")
 
 
+class RunLengthObserver:
+    """Deferred feeder for a :class:`Histogram` sampled every cycle.
+
+    Per-cycle series (FTQ occupancy, queue depths) hold the same value
+    for long runs; recording each sample individually makes
+    ``Histogram.observe`` a hot-loop cost.  This observer accumulates
+    consecutive equal samples and flushes each run as one weighted
+    ``observe`` call, which is arithmetically identical to per-sample
+    recording.  Call :meth:`flush` before reading the histogram.
+    """
+
+    __slots__ = ("_histogram", "_value", "_weight")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._value = 0
+        self._weight = 0
+
+    def observe(self, value: int, weight: int = 1) -> None:
+        """Record ``value`` for ``weight`` consecutive samples."""
+        if value == self._value:
+            self._weight += weight
+        else:
+            if self._weight:
+                self._histogram.observe(self._value, self._weight)
+            self._value = value
+            self._weight = weight
+
+    def flush(self) -> None:
+        """Push any buffered run into the histogram."""
+        if self._weight:
+            self._histogram.observe(self._value, self._weight)
+            self._weight = 0
+
+
 class StatGroup:
     """A named group of integer counters and histograms.
 
@@ -92,6 +129,8 @@ class StatGroup:
     counters by name.  Counter reads of names never bumped return 0, so
     report code does not need to guard against missing keys.
     """
+
+    __slots__ = ("name", "_counters", "_histograms")
 
     def __init__(self, name: str) -> None:
         self.name = name

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import simulate
 from repro.config import PrefetchConfig, PrefetcherKind, SimConfig
-from repro.sim import run_simulation
 from repro.trace import characterize
 from repro.workloads.suite import ALL_WORKLOADS, build_trace, get_profile
 
@@ -78,7 +78,7 @@ def calibrate(name: str, trace_length: int = 60_000, seed: int = 1,
         band = DEFAULT_BANDS[name]
     trace = build_trace(name, trace_length, seed=seed)
     stats = characterize(trace)
-    base = run_simulation(trace, SimConfig(
+    base = simulate(trace, SimConfig(
         prefetch=PrefetchConfig(kind=PrefetcherKind.NONE),
         warmup_instructions=trace_length // 5))
 

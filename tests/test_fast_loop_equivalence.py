@@ -1,0 +1,123 @@
+"""Bit-identity of the fast-path cycle engine against the naive loop.
+
+The fast path (``SimConfig.fast_loop``, see ``repro/sim/fastpath.py``)
+jumps over provably idle cycles in one step.  Its correctness claim is
+absolute: the full :class:`~repro.sim.results.SimResult` — every
+counter, every histogram, every derived metric — must equal the naive
+cycle-by-cycle loop's, for every prefetcher and configuration.  These
+tests sweep that claim across the prefetcher kinds, cache-probe-filter
+modes, trace seeds, and the warm-up-reset edge case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import FilterMode, PrefetchConfig, PrefetcherKind, \
+    SimConfig
+from repro.sim.simulator import Simulator
+from repro.trace import Trace
+
+ALL_KINDS = PrefetcherKind.ALL
+CPF_MODES = (FilterMode.ENQUEUE, FilterMode.REMOVE)
+SEEDS = (9, 23)
+
+
+@pytest.fixture(scope="module")
+def traces(small_program):
+    return {seed: Trace.from_program(small_program, 3_000, seed=seed)
+            for seed in SEEDS}
+
+
+def both(trace: Trace, config: SimConfig):
+    """(naive result, fast result, fast simulator) for one point."""
+    naive = Simulator(trace, config, fast_loop=False).run()
+    sim = Simulator(trace, config, fast_loop=True)
+    fast = sim.run()
+    return naive, fast, sim
+
+
+def assert_identical(naive, fast):
+    """Equality with a readable counter-level diff on failure."""
+    if naive == fast:
+        return
+    diffs = [f"{key}: naive={naive.counters.get(key)} "
+             f"fast={fast.counters.get(key)}"
+             for key in sorted(set(naive.counters) | set(fast.counters))
+             if naive.counters.get(key) != fast.counters.get(key)]
+    for field in ("cycles", "instructions", "mispredicts",
+                  "ftq_mean_occupancy", "ftq_occupancy_hist",
+                  "fetch_block_hist", "prefetch_lead_hist"):
+        if getattr(naive, field) != getattr(fast, field):
+            diffs.append(f"{field}: naive={getattr(naive, field)!r} "
+                         f"fast={getattr(fast, field)!r}")
+    raise AssertionError("fast loop diverged from naive loop:\n  "
+                         + "\n  ".join(diffs))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("mode", CPF_MODES)
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_fast_loop_matches_naive(traces, kind, mode, seed):
+    config = SimConfig(prefetch=PrefetchConfig(kind=kind,
+                                               filter_mode=mode))
+    naive, fast, _ = both(traces[seed], config)
+    assert_identical(naive, fast)
+
+
+def test_fast_loop_actually_skips(traces):
+    """A stall-heavy run must exercise the skip machinery, or the
+    matrix above proves nothing."""
+    config = SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.NONE))
+    config = config.replace(
+        memory=replace(config.memory, memory_latency=400))
+    naive, fast, sim = both(traces[SEEDS[0]], config)
+    assert_identical(naive, fast)
+    assert sim.skipped_cycles > 0
+    assert sim.skipped_cycles < sim.cycle
+
+
+def test_warmup_reset_straddles_skip_window(traces):
+    """The measurement reset must land on exactly the same cycle.
+
+    With a long memory latency the run is dominated by multi-hundred-
+    cycle skip windows; a warm-up threshold mid-run forces the reset to
+    fire inside that regime.  Retirement bounds every skip, so the
+    reset cycle — and all post-reset statistics — must be identical.
+    """
+    for warmup in (500, 1000, 1500):
+        config = SimConfig(
+            prefetch=PrefetchConfig(kind=PrefetcherKind.NONE),
+            warmup_instructions=warmup)
+        config = config.replace(
+            memory=replace(config.memory, memory_latency=400))
+        naive, fast, sim = both(traces[SEEDS[0]], config)
+        assert_identical(naive, fast)
+        assert sim.skipped_cycles > 0
+
+
+def test_tracer_forces_naive_loop(traces):
+    """A tracer must observe every cycle: fast_loop is ignored."""
+    from repro.analysis import PipeTracer
+
+    config = SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.FDIP))
+    tracer = PipeTracer(start=1, length=50)
+    sim = Simulator(traces[SEEDS[0]], config, tracer=tracer,
+                    fast_loop=True)
+    sim.run()
+    assert sim.skipped_cycles == 0
+    assert len(tracer.snapshots) > 0
+
+
+def test_fast_loop_config_knob(traces):
+    """``SimConfig.fast_loop=False`` disables skipping without the
+    constructor override."""
+    config = SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.NONE),
+                       fast_loop=False)
+    config = config.replace(
+        memory=replace(config.memory, memory_latency=400))
+    sim = Simulator(traces[SEEDS[0]], config)
+    sim.run()
+    assert sim.skipped_cycles == 0
