@@ -2,7 +2,11 @@
 
 PY ?= python
 
-.PHONY: install test test-fast lint bench bench-full perf report calibrate clean
+.PHONY: install test test-fast lint typecheck bench bench-full perf report calibrate clean
+
+# Files under the typed surface: the telemetry spine, the component
+# protocol, and the stable API facade.
+TYPECHECK_FILES = src/repro/stats src/repro/component.py src/repro/api.py
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +19,14 @@ test-fast:
 
 lint:
 	$(PY) -m ruff check src tests benchmarks examples
+
+# Static type checking of the typed surface (configured in
+# pyproject.toml [tool.mypy]).  Skips gracefully when mypy is not
+# installed locally; CI always installs and runs it.
+typecheck:
+	@$(PY) -c "import mypy" 2>/dev/null \
+	    && $(PY) -m mypy $(TYPECHECK_FILES) \
+	    || echo "mypy not installed; skipping (CI runs this check)"
 
 bench:
 	REPRO_RESULT_CACHE=.result_cache \

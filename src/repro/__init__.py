@@ -42,7 +42,14 @@ from repro.errors import (
     SimulationError,
     TraceError,
 )
-from repro.api import make_runner, simulate, sweep
+from repro.api import (
+    TelemetryNode,
+    TelemetrySnapshot,
+    make_runner,
+    merge_snapshots,
+    simulate,
+    sweep,
+)
 from repro.sim import SimResult, Simulator, run_simulation
 from repro.trace import Trace, TraceRecord, characterize
 
@@ -67,6 +74,10 @@ __all__ = [
     "sweep",
     "make_runner",
     "run_simulation",
+    # telemetry
+    "TelemetryNode",
+    "TelemetrySnapshot",
+    "merge_snapshots",
     # traces
     "Trace",
     "TraceRecord",

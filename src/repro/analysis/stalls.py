@@ -20,15 +20,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.results import SimResult
+from repro.stats.telemetry import TelemetrySnapshot
 
 __all__ = ["StallBreakdown", "stall_breakdown"]
 
+# (label, counter on the fetch engine's telemetry node)
 _CATEGORIES = (
-    ("active", "fetch.active_cycles"),
-    ("icache_miss", "fetch.miss_stall_cycles"),
-    ("window_full", "fetch.window_stall_cycles"),
-    ("ftq_empty", "fetch.ftq_empty_cycles"),
-    ("mshr_full", "fetch.mshr_stall_cycles"),
+    ("active", "active_cycles"),
+    ("icache_miss", "miss_stall_cycles"),
+    ("window_full", "window_stall_cycles"),
+    ("ftq_empty", "ftq_empty_cycles"),
+    ("mshr_full", "mshr_stall_cycles"),
 )
 
 
@@ -58,26 +60,49 @@ class StallBreakdown:
                 "window full", "ftq empty", "mshr full", "other"]
 
 
-def stall_breakdown(result: SimResult) -> StallBreakdown:
+def stall_breakdown(
+        result: SimResult | TelemetrySnapshot) -> StallBreakdown:
     """Classify the run's cycles into fetch-accounting categories.
+
+    Accepts a :class:`SimResult` or a raw telemetry snapshot; results
+    carrying a snapshot read the fetch engine's node from the tree, and
+    pre-telemetry results fall back to their flat counters — the values
+    are identical either way.
 
     Fractions are of total measured cycles; ``other`` absorbs cycles the
     fetch engine did not attribute (for example cycles consumed while an
     access was classified but nothing else happened — normally a small
     residue).
     """
-    cycles = max(result.cycles, 1)
+    snapshot = result if isinstance(result, TelemetrySnapshot) \
+        else result.telemetry
+    if snapshot is not None:
+        name = str(snapshot.meta.get("name", ""))
+        prefetcher = str(snapshot.meta.get("prefetcher", ""))
+        total = int(snapshot.meta.get("cycles", 0))
+        fetch = snapshot.node("fetch")
+
+        def get(counter: str) -> int:
+            return fetch.get(counter) if fetch is not None else 0
+    else:
+        name, prefetcher, total = result.name, result.prefetcher, \
+            result.cycles
+
+        def get(counter: str) -> int:
+            return result.get(f"fetch.{counter}")
+
+    cycles = max(total, 1)
     fractions = {}
     accounted = 0
     for label, counter in _CATEGORIES:
-        value = result.get(counter)
+        value = get(counter)
         accounted += value
         fractions[label] = value / cycles
     other = max(0.0, 1.0 - accounted / cycles)
     return StallBreakdown(
-        name=result.name,
-        prefetcher=result.prefetcher,
-        cycles=result.cycles,
+        name=name,
+        prefetcher=prefetcher,
+        cycles=total,
         other=other,
         **fractions,
     )

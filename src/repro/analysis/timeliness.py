@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.results import SimResult
+from repro.stats.telemetry import TelemetrySnapshot
 
 __all__ = ["TimelinessSummary", "timeliness_summary"]
 
@@ -63,20 +64,41 @@ def _percentile(hist: dict[int, int], q: float) -> int:
     return max(hist)
 
 
-def timeliness_summary(result: SimResult) -> TimelinessSummary:
+def timeliness_summary(
+        result: SimResult | TelemetrySnapshot) -> TimelinessSummary:
     """Summarize a run's prefetch lead-time distribution.
+
+    Accepts a :class:`SimResult` or a raw telemetry snapshot; with a
+    snapshot the lead histogram is located in the tree (whichever node
+    records ``lead_cycles`` — the prefetch buffer) rather than through
+    the result's flattened view.
 
     Runs without a lead histogram (no prefetcher, or a prefetcher whose
     storage does not record leads) yield an all-zero summary.
     """
-    hist = result.prefetch_lead_hist
+    if isinstance(result, TelemetrySnapshot):
+        snapshot = result
+        lead_node = snapshot.root.find(
+            lambda node: "lead_cycles" in node.histograms)
+        hist = (lead_node.histograms["lead_cycles"]
+                if lead_node is not None else {})
+        flat = snapshot.flat_counters()
+        name = str(snapshot.meta.get("name", ""))
+        prefetcher = str(snapshot.meta.get("prefetcher", ""))
+        useful = flat.get("pbuf.useful_hits", 0) \
+            + flat.get("stream.head_hits", 0)
+        late = flat.get("mem.late_prefetch_fills", 0)
+    else:
+        hist = result.prefetch_lead_hist
+        name, prefetcher = result.name, result.prefetcher
+        useful, late = result.prefetches_useful, result.prefetches_late
     total = sum(hist.values())
     mean = (sum(k * v for k, v in hist.items()) / total) if total else 0.0
     return TimelinessSummary(
-        name=result.name,
-        prefetcher=result.prefetcher,
-        useful=result.prefetches_useful,
-        late=result.prefetches_late,
+        name=name,
+        prefetcher=prefetcher,
+        useful=useful,
+        late=late,
         mean_lead_cycles=mean,
         p50_lead_cycles=_percentile(hist, 0.5),
         p90_lead_cycles=_percentile(hist, 0.9),

@@ -11,6 +11,13 @@ exposes a small surface:
 - :func:`sweep` — run many (workload, config) points fault-tolerantly
   in parallel.
 
+Every :class:`~repro.sim.results.SimResult` carries the full
+hierarchical telemetry tree on ``result.telemetry`` (a
+:class:`~repro.stats.telemetry.TelemetrySnapshot`, re-exported here
+along with :class:`~repro.stats.telemetry.TelemetryNode` and
+:func:`~repro.stats.sweep.merge_snapshots` for cross-shard
+aggregation).
+
 Everything here is re-exported from the top-level :mod:`repro`
 package::
 
@@ -32,13 +39,16 @@ from typing import TYPE_CHECKING
 from repro.config import SimConfig
 from repro.sim.results import SimResult
 from repro.sim.simulator import Simulator
+from repro.stats import TelemetryNode, TelemetrySnapshot, \
+    merge_snapshots  # noqa: F401  (re-exported)
 from repro.trace import Trace
 
 if TYPE_CHECKING:
     from repro.harness.parallel import SweepOutcome
     from repro.harness.runner import Runner
 
-__all__ = ["simulate", "make_runner", "sweep"]
+__all__ = ["simulate", "make_runner", "sweep",
+           "TelemetryNode", "TelemetrySnapshot", "merge_snapshots"]
 
 
 def simulate(trace: Trace, config: SimConfig | None = None, *,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro.component import StatsComponent
 from repro.stats import StatGroup
 
 __all__ = ["DirectionPredictor", "counter_taken", "counter_update",
@@ -32,11 +33,14 @@ def counter_update(counter: int, taken: bool) -> int:
     return counter - 1 if counter > 0 else 0
 
 
-class DirectionPredictor(ABC):
+class DirectionPredictor(StatsComponent, ABC):
     """Predicts conditional-branch directions."""
 
     def __init__(self, name: str):
         self.stats = StatGroup(name)
+
+    def derived_metrics(self) -> dict[str, float]:
+        return {"accuracy": self.accuracy}
 
     @abstractmethod
     def predict(self, pc: int, history: int) -> bool:

@@ -9,6 +9,7 @@ at squash time.
 
 from __future__ import annotations
 
+from repro.component import StatsComponent
 from repro.stats import StatGroup
 
 __all__ = ["ReturnAddressStack", "RasSnapshot"]
@@ -25,7 +26,7 @@ class RasSnapshot:
         self.count = count
 
 
-class ReturnAddressStack:
+class ReturnAddressStack(StatsComponent):
     """Circular return-address stack."""
 
     def __init__(self, depth: int = 32):

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro list                         # workloads + techniques
     python -m repro characterize -w gcc_like     # trace characterization
     python -m repro run -w perl_like -p fdip     # one simulation
+    python -m repro stats -w gcc_like --json     # full telemetry tree
     python -m repro experiment E3                # regenerate one table
     python -m repro calibrate                    # workload band checks
     python -m repro report -o report.md          # all experiments -> md
@@ -12,7 +13,11 @@ Subcommands::
     python -m repro perf                         # fast-loop throughput
 
 Every subcommand accepts ``--length`` (trace length) and ``--seed``.
-``run`` prints a metrics table, or JSON with ``--json``.
+``run`` prints a metrics table, or JSON with ``--json``.  ``stats``
+dumps the full hierarchical telemetry tree — human table by default,
+the versioned snapshot schema with ``--json``, flat
+``path,counter,value`` rows with ``--csv``, and per-window interval
+series (``--window N``) alongside.
 """
 
 from __future__ import annotations
@@ -35,7 +40,8 @@ from repro.harness import (
 )
 from repro.api import simulate
 from repro.harness.report import generate_report
-from repro.stats import format_table
+from repro.stats import IntervalSeries, format_table, rows_to_csv, \
+    telemetry_table
 from repro.trace import characterize
 from repro.workloads import ALL_WORKLOADS, build_trace, get_profile
 
@@ -78,6 +84,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the fast-path cycle engine "
                             "(results are identical either way)")
     common(p_run)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run one simulation, dump the hierarchical telemetry tree")
+    p_stats.add_argument("-w", "--workload", required=True,
+                         choices=ALL_WORKLOADS)
+    p_stats.add_argument("-p", "--prefetcher", default=PrefetcherKind.FDIP,
+                         choices=PrefetcherKind.ALL)
+    p_stats.add_argument("-f", "--filter", default=FilterMode.ENQUEUE,
+                         choices=FilterMode.ALL,
+                         help="cache probe filtering mode (fdip only)")
+    p_stats.add_argument("--warmup", type=int, default=0)
+    p_stats.add_argument("--window", type=int, default=0,
+                         help="interval sampling window in cycles "
+                              "(0 = no interval series)")
+    fmt = p_stats.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="emit the full versioned snapshot as JSON")
+    fmt.add_argument("--csv", action="store_true",
+                     help="emit flat path,counter,value CSV")
+    p_stats.add_argument("--intervals", action="store_true",
+                         help="with --csv: emit the interval series "
+                              "instead of the counters")
+    common(p_stats)
 
     p_exp = sub.add_parser("experiment", help="regenerate one experiment")
     p_exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS),
@@ -217,6 +247,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = build_trace(args.workload, args.length, seed=args.seed)
+    config = technique_config(_technique_name(args), SimConfig())
+    if args.warmup:
+        config = config.replace(warmup_instructions=args.warmup)
+    if args.window:
+        config = config.replace(telemetry_window=args.window)
+    result = simulate(trace, config)
+    snapshot = result.telemetry
+    assert snapshot is not None   # live runs always carry a snapshot
+
+    if args.csv and args.intervals:
+        if snapshot.intervals is None:
+            print("error: no interval series recorded; pass --window N",
+                  file=sys.stderr)
+            return 2
+        print(rows_to_csv(IntervalSeries.headers(),
+                          snapshot.intervals.rows()), end="")
+        return 0
+    if args.json:
+        print(snapshot.to_json(indent=2))
+        return 0
+    if args.csv:
+        print(rows_to_csv(snapshot.counter_headers(),
+                          snapshot.counter_rows()), end="")
+        return 0
+    print(telemetry_table(snapshot))
+    if snapshot.intervals is not None:
+        print()
+        print(format_table(
+            IntervalSeries.headers(), snapshot.intervals.rows(),
+            title=f"interval series (window "
+                  f"{snapshot.intervals.window} cycles)"))
+    return 0
+
+
 def _technique_name(args: argparse.Namespace) -> str:
     if args.prefetcher != PrefetcherKind.FDIP:
         return args.prefetcher
@@ -345,6 +411,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_characterize(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "calibrate":

@@ -318,6 +318,12 @@ class SimConfig:
     # docs/performance.md); disable only when debugging the engine
     # itself or driving a per-cycle tracer by hand.
     fast_loop: bool = True
+    # Interval telemetry: record a per-window time series (cycles,
+    # retired instructions, demand misses, FTQ occupancy mass) every
+    # this-many cycles.  0 disables the series; the counter tree is
+    # always collected.  Sampling is fast-loop aware and bit-identical
+    # between the fast and naive loops (see docs/telemetry.md).
+    telemetry_window: int = 0
 
     def __post_init__(self) -> None:
         if self.max_instructions is not None:
@@ -327,6 +333,8 @@ class SimConfig:
                  "warmup_instructions must be >= 0")
         _require(self.fast_forward_instructions >= 0,
                  "fast_forward_instructions must be >= 0")
+        _require(self.telemetry_window >= 0,
+                 "telemetry_window must be >= 0")
         if self.max_cycles is not None:
             _require(self.max_cycles >= 1, "max_cycles must be >= 1")
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.component import StatsComponent
 from repro.config import CoreConfig
 from repro.isa import InstrKind
 from repro.stats import StatGroup
@@ -25,7 +26,7 @@ from repro.trace import TraceRecord
 __all__ = ["Backend"]
 
 
-class Backend:
+class Backend(StatsComponent):
     """Finite-window, in-order-retire backend model."""
 
     def __init__(self, core: CoreConfig):

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.component import StatsComponent
 from repro.config import CoreConfig
 from repro.cpu.backend import Backend
 from repro.errors import SimulationError
@@ -27,7 +28,7 @@ from repro.trace import Trace
 __all__ = ["FetchEngine"]
 
 
-class FetchEngine:
+class FetchEngine(StatsComponent):
     """In-order instruction fetch from the FTQ head."""
 
     def __init__(self, trace: Trace, memory: MemorySystem,

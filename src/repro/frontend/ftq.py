@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.bpred.ras import RasSnapshot
+from repro.component import StatsComponent
 from repro.errors import SimulationError
 from repro.isa import INSTRUCTION_BYTES, InstrKind
 from repro.stats import StatGroup
@@ -71,7 +72,7 @@ class FTQEntry:
                 f"-> {self.predicted_next:#x}")
 
 
-class FetchTargetQueue:
+class FetchTargetQueue(StatsComponent):
     """Bounded FIFO of :class:`FTQEntry`."""
 
     __slots__ = ("depth", "stats", "_entries")

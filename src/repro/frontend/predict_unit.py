@@ -28,6 +28,7 @@ wrong-path blocks are never validated.
 from __future__ import annotations
 
 from repro.bpred import DirectionPredictor, ReturnAddressStack
+from repro.component import StatsComponent
 from repro.config import FrontEndConfig
 from repro.errors import SimulationError
 from repro.ftb import FetchTargetBuffer, FTBEntry
@@ -39,8 +40,15 @@ from repro.trace import Trace
 __all__ = ["PredictUnit"]
 
 
-class PredictUnit:
-    """Decoupled branch-prediction unit, one fetch block per cycle."""
+class PredictUnit(StatsComponent):
+    """Decoupled branch-prediction unit, one fetch block per cycle.
+
+    As a telemetry component the unit is composite: the direction
+    predictor and the return address stack report as its children.
+    """
+
+    def sub_components(self):
+        return (self.predictor, self.ras)
 
     def __init__(self, trace: Trace, ftb: FetchTargetBuffer,
                  predictor: DirectionPredictor, ras: ReturnAddressStack,

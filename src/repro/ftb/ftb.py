@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.component import StatsComponent
 from repro.config import is_power_of_two
 from repro.errors import ConfigError
 from repro.isa import INSTRUCTION_BYTES, InstrKind
@@ -49,7 +50,7 @@ class FTBEntry:
         return (self.fallthrough - self.start) // INSTRUCTION_BYTES
 
 
-class FetchTargetBuffer:
+class FetchTargetBuffer(StatsComponent):
     """Set-associative, LRU FTB keyed by fetch-block start address."""
 
     def __init__(self, sets: int = 512, ways: int = 4):

@@ -17,6 +17,7 @@ Probe outcomes:
 
 from __future__ import annotations
 
+from repro.component import StatsComponent
 from repro.errors import ConfigError
 from repro.ftb.ftb import FetchTargetBuffer, FTBEntry
 from repro.stats import StatGroup
@@ -28,8 +29,17 @@ L2 = "l2"
 MISS = "miss"
 
 
-class TwoLevelFTB:
-    """L1 + L2 fetch target buffers with promotion on L2 hits."""
+class TwoLevelFTB(StatsComponent):
+    """L1 + L2 fetch target buffers with promotion on L2 hits.
+
+    Telemetry-wise the two levels report as children of the ``ftb2``
+    node.  Both carry the legacy group name ``ftb``; the flat view
+    resolves the collision the way the old merge did (L2 wins), while
+    tree consumers see both levels distinctly by position.
+    """
+
+    def sub_components(self):
+        return (self.l1, self.l2)
 
     def __init__(self, l1_sets: int, l1_ways: int, l2_sets: int,
                  l2_ways: int, l2_latency: int):

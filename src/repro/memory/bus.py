@@ -11,12 +11,13 @@ ready after the occupancy plus the downstream latency (L2 hit or memory).
 
 from __future__ import annotations
 
+from repro.component import StatsComponent
 from repro.stats import StatGroup
 
 __all__ = ["Bus"]
 
 
-class Bus:
+class Bus(StatsComponent):
     """Single shared bus with demand-priority scheduling."""
 
     def __init__(self, transfer_cycles: int, name: str = "bus"):

@@ -11,15 +11,18 @@ Two lookup flavours matter to the paper:
 
 from __future__ import annotations
 
+from repro.component import StatsComponent
 from repro.config import CacheGeometry
 from repro.stats import StatGroup
 
 __all__ = ["SetAssociativeCache"]
 
 
-class SetAssociativeCache:
+class SetAssociativeCache(StatsComponent):
     """LRU set-associative cache keyed by block id."""
 
+    # "name" stays a slot (shadowing the StatsComponent property) so the
+    # hot lookup path keeps its direct attribute access.
     __slots__ = ("geometry", "name", "stats", "_num_sets", "_assoc",
                  "_sets")
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 from typing import Protocol
 
+from repro.component import StatsComponent
 from repro.config import MemoryConfig
 from repro.errors import SimulationError
 from repro.memory.bus import Bus
@@ -76,8 +77,16 @@ class DemandResult:
         return f"DemandResult({self.outcome}, ready={self.ready_cycle})"
 
 
-class MemorySystem:
-    """L1-I + L2 + memory + bus + MSHRs + sidecar, cycle-accurate."""
+class MemorySystem(StatsComponent):
+    """L1-I + L2 + memory + bus + MSHRs + sidecar, cycle-accurate.
+
+    The hierarchy reports as one telemetry subtree: the ``mem`` node
+    with the caches, bus, and MSHR file as children.  (The sidecar is
+    prefetcher-owned and reports under the prefetcher's node.)
+    """
+
+    def sub_components(self):
+        return (self.l1i, self.l2, self.bus, self.mshrs)
 
     def __init__(self, config: MemoryConfig, sidecar: Sidecar | None = None,
                  prefetch_fill_to_l1: bool = False):

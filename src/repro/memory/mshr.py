@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.component import StatsComponent
 from repro.stats import StatGroup
 
 __all__ = ["MshrFile", "MshrEntry"]
@@ -30,7 +31,7 @@ class MshrEntry:
 
 
 @dataclass
-class MshrFile:
+class MshrFile(StatsComponent):
     """A bounded file of :class:`MshrEntry`, keyed by block id."""
 
     capacity: int

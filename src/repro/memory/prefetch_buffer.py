@@ -14,12 +14,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.component import StatsComponent
 from repro.stats import StatGroup
 
 __all__ = ["PrefetchBuffer"]
 
 
-class PrefetchBuffer:
+class PrefetchBuffer(StatsComponent):
     """Fully-associative FIFO buffer of prefetched cache blocks."""
 
     def __init__(self, entries: int, name: str = "pbuf"):

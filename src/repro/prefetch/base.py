@@ -26,20 +26,39 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro.component import StatsComponent
 from repro.frontend.ftq import FetchTargetQueue
 from repro.memory.hierarchy import MemorySystem, Sidecar
 from repro.stats import StatGroup
+from repro.stats.telemetry import TelemetryNode
 
 __all__ = ["Prefetcher"]
 
 
-class Prefetcher(ABC):
-    """Base class of all instruction prefetchers."""
+class Prefetcher(StatsComponent, ABC):
+    """Base class of all instruction prefetchers.
+
+    Every prefetcher is a telemetry :class:`~repro.component.Component`:
+    ``name`` is the registered kind, and any storage it owns (prefetch
+    buffer, stream buffers) reports through :meth:`extra_stat_groups`,
+    which the base class turns into child telemetry nodes — subclasses
+    get the protocol for free.
+    """
 
     def __init__(self, name: str, memory: MemorySystem):
-        self.name = name
         self.memory = memory
         self.stats = StatGroup(name)
+
+    def reset(self) -> None:
+        for group in self.extra_stat_groups():
+            group.reset()
+
+    def telemetry(self) -> TelemetryNode:
+        children = [TelemetryNode.from_stat_group(group)
+                    for group in self.extra_stat_groups()
+                    if group is not self.stats]
+        return TelemetryNode.from_stat_group(self.stats,
+                                             children=children)
 
     @property
     @abstractmethod

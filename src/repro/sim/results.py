@@ -1,8 +1,20 @@
-"""Simulation results: derived metrics over the raw counter namespace."""
+"""Simulation results: a thin typed view over a telemetry snapshot.
+
+Historically ``SimResult`` was assembled by hand from a flat counter
+namespace; it is now constructed from the hierarchical
+:class:`~repro.stats.telemetry.TelemetrySnapshot` the simulator
+collects (:meth:`SimResult.from_snapshot`).  The flat ``counters``
+mapping and every headline field are preserved for compatibility — they
+are derived from the tree, not stored separately by components.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.stats.telemetry import TelemetrySnapshot
 
 __all__ = ["SimResult"]
 
@@ -38,6 +50,56 @@ class SimResult:
     fetch_block_hist: dict[int, int] = field(default_factory=dict)
     # Prefetch lead times (fill -> first use), for timeliness analysis.
     prefetch_lead_hist: dict[int, int] = field(default_factory=dict)
+    # The full hierarchical telemetry snapshot this view was built from
+    # (None for results deserialized from pre-telemetry payloads).
+    telemetry: "TelemetrySnapshot | None" = None
+
+    @classmethod
+    def from_snapshot(cls, snapshot: "TelemetrySnapshot") -> "SimResult":
+        """Construct the typed view from one telemetry snapshot.
+
+        Every field is derived from the snapshot's tree and metadata;
+        nothing else flows from the machine components into the result.
+        """
+        root = snapshot.root
+        meta = snapshot.meta
+        flat = snapshot.flat_counters()
+        cycles = int(meta.get("cycles", 0))
+
+        occupancy = root.histogram("ftq_occupancy")
+        occ_total = sum(occupancy.values())
+        occ_sum = sum(value * count for value, count in occupancy.items())
+        predictor = root.find(lambda node: "accuracy" in node.derived)
+        predict = root.child("predict")
+        lead_node = root.find(
+            lambda node: "lead_cycles" in node.histograms)
+        busy = flat.get("bus.busy_cycles", 0)
+        return cls(
+            name=str(meta.get("name", "")),
+            prefetcher=str(meta.get("prefetcher", "")),
+            cycles=cycles,
+            instructions=int(meta.get("instructions", 0)),
+            mispredicts=flat.get("predict.mispredicts", 0),
+            bpred_accuracy=(predictor.derived["accuracy"]
+                            if predictor is not None else 0.0),
+            ftq_mean_occupancy=(occ_sum / occ_total if occ_total else 0.0),
+            demand_misses=flat.get("mem.demand_misses", 0),
+            demand_merges=flat.get("mshr.demand_merges", 0),
+            bus_utilization=(min(1.0, busy / cycles)
+                             if cycles > 0 else 0.0),
+            l2_misses=flat.get("mem.l2_misses", 0),
+            prefetches_issued=flat.get("mem.prefetches_issued", 0),
+            prefetches_useful=(flat.get("pbuf.useful_hits", 0)
+                               + flat.get("stream.head_hits", 0)),
+            prefetches_late=flat.get("mem.late_prefetch_fills", 0),
+            counters=flat,
+            ftq_occupancy_hist=dict(occupancy),
+            fetch_block_hist=(dict(predict.histogram("fetch_block_instrs"))
+                              if predict is not None else {}),
+            prefetch_lead_hist=(dict(lead_node.histograms["lead_cycles"])
+                                if lead_node is not None else {}),
+            telemetry=snapshot,
+        )
 
     @property
     def ipc(self) -> float:

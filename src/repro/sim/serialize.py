@@ -3,6 +3,16 @@
 Used by the persistent result cache and by users exporting runs.  JSON
 object keys for the histogram fields are stringified integers (JSON has
 no int keys); round-tripping restores them.
+
+Payloads carry a ``schema_version``:
+
+- (absent) / 1 — the pre-telemetry flat form.  Still accepted; such
+  results load with ``telemetry=None``.
+- 2 — adds the full hierarchical telemetry snapshot under the
+  ``telemetry`` key (see :mod:`repro.stats.telemetry` for its own
+  nested ``schema`` tag) plus the version field itself.
+
+Readers reject payloads from a *newer* schema rather than guessing.
 """
 
 from __future__ import annotations
@@ -12,9 +22,12 @@ import json
 
 from repro.errors import ReproError
 from repro.sim.results import SimResult
+from repro.stats.telemetry import TelemetrySnapshot
 
-__all__ = ["result_to_dict", "result_from_dict", "result_to_json",
-           "result_from_json"]
+__all__ = ["SCHEMA_VERSION", "result_to_dict", "result_from_dict",
+           "result_to_json", "result_from_json"]
+
+SCHEMA_VERSION = 2
 
 _INT_KEY_FIELDS = ("ftq_occupancy_hist", "fetch_block_hist",
                    "prefetch_lead_hist")
@@ -22,20 +35,43 @@ _INT_KEY_FIELDS = ("ftq_occupancy_hist", "fetch_block_hist",
 
 def result_to_dict(result: SimResult) -> dict:
     """Plain-dict form of a result (JSON compatible)."""
-    payload = dataclasses.asdict(result)
+    payload = {field.name: getattr(result, field.name)
+               for field in dataclasses.fields(result)
+               if field.name != "telemetry"}
+    payload["counters"] = dict(result.counters)
     for field in _INT_KEY_FIELDS:
         payload[field] = {str(k): v for k, v in payload[field].items()}
+    payload["telemetry"] = (result.telemetry.to_dict()
+                            if result.telemetry is not None else None)
+    payload["schema_version"] = SCHEMA_VERSION
     return payload
 
 
 def result_from_dict(payload: dict) -> SimResult:
-    """Inverse of :func:`result_to_dict`."""
+    """Inverse of :func:`result_to_dict`.
+
+    Accepts both current payloads and version-1 (pre-telemetry) ones;
+    the latter deserialize with ``telemetry=None``.
+    """
     data = dict(payload)
+    version = data.pop("schema_version", 1)
+    if not isinstance(version, int) or version < 1:
+        raise ReproError(
+            f"malformed serialized SimResult: bad schema_version "
+            f"{version!r}")
+    if version > SCHEMA_VERSION:
+        raise ReproError(
+            f"serialized SimResult has schema_version {version}, newer "
+            f"than the supported {SCHEMA_VERSION}; upgrade repro to "
+            f"read it")
+    telemetry_payload = data.pop("telemetry", None)
     try:
         for field in _INT_KEY_FIELDS:
             data[field] = {int(k): v for k, v in data.get(field,
                                                           {}).items()}
-        return SimResult(**data)
+        telemetry = (TelemetrySnapshot.from_dict(telemetry_payload)
+                     if telemetry_payload is not None else None)
+        return SimResult(**data, telemetry=telemetry)
     except (KeyError, TypeError, ValueError) as exc:
         raise ReproError(f"malformed serialized SimResult: {exc}") from exc
 

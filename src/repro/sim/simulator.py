@@ -21,6 +21,7 @@ from __future__ import annotations
 import warnings
 
 from repro.bpred import ReturnAddressStack, make_direction_predictor
+from repro.component import Component
 from repro.config import SimConfig
 from repro.cpu import Backend
 from repro.errors import SimulationError
@@ -33,7 +34,8 @@ from repro.memory import MemorySystem
 from repro.prefetch import make_prefetcher  # noqa: F401
 from repro.sim.fastpath import plan_skip
 from repro.sim.results import SimResult
-from repro.stats import RunLengthObserver, StatGroup
+from repro.stats import IntervalSampler, IntervalSeries, \
+    RunLengthObserver, StatGroup, TelemetryNode, TelemetrySnapshot
 from repro.trace import Trace
 
 __all__ = ["Simulator", "make_prefetcher", "run_simulation"]
@@ -151,8 +153,7 @@ class Simulator:
             elif record.pc + INSTRUCTION_BYTES - block_start >= cap_bytes:
                 block_start = record.next_pc
 
-        for group in self._stat_groups():
-            group.reset()
+        self._reset_stats()
         self.stats.bump("fast_forwarded", len(self._warm_records))
 
     def _schedule_resolution(self, entry: FTQEntry, resolve_at: int) -> None:
@@ -188,12 +189,17 @@ class Simulator:
         fast = self.fast_loop and self.tracer is None
         tracer = self.tracer
         memory = self.memory
+        mem_stats = memory.stats
         backend = self.backend
         fetch_engine = self.fetch_engine
         predict_unit = self.predict_unit
         prefetcher = self.prefetcher
         ftq = self.ftq
 
+        window = self.config.telemetry_window
+        sampler = IntervalSampler(window, origin=self.cycle,
+                                  base_retired=backend.retired) \
+            if window > 0 else None
         occupancy = RunLengthObserver(self.stats.histogram("ftq_occupancy"))
         while backend.retired < total:
             self.cycle += 1
@@ -209,7 +215,11 @@ class Simulator:
             fetched = fetch_engine.tick(cycle)
             predict_unit.tick(cycle, ftq)
             prefetcher.tick(cycle, ftq)
-            occupancy.observe(ftq.occupancy())
+            occ = ftq.occupancy()
+            occupancy.observe(occ)
+            if sampler is not None:
+                sampler.advance(cycle, occ, backend.retired,
+                                mem_stats.get("demand_misses"))
             if tracer is not None:
                 tracer.record(cycle, self)
 
@@ -218,22 +228,37 @@ class Simulator:
                 self._reset_measurement()
                 occupancy = RunLengthObserver(
                     self.stats.histogram("ftq_occupancy"))
+                if sampler is not None:
+                    # Counters just cleared; anchor the interval series
+                    # at the measurement origin so window boundaries and
+                    # deltas cover only the measured region.
+                    sampler = IntervalSampler(
+                        window, origin=self.cycle,
+                        base_retired=backend.retired)
             elif fast and not fetched and backend.retired < total:
                 # (the fetched guard merely pre-filters active cycles;
                 # the retired guard keeps the loop's exit cycle — and
                 # therefore the reported cycle count — identical)
                 plan = plan_skip(self, cycle, max_cycles)
                 if plan is not None:
-                    self._apply_skip(plan, occupancy)
+                    self._apply_skip(plan, occupancy, sampler)
 
         occupancy.flush()
-        return self._collect()
+        intervals = None
+        if sampler is not None:
+            intervals = sampler.finalize(self.cycle, backend.retired,
+                                         mem_stats.get("demand_misses"))
+        return self._collect(intervals)
 
-    def _apply_skip(self, plan, occupancy: RunLengthObserver) -> None:
+    def _apply_skip(self, plan, occupancy: RunLengthObserver,
+                    sampler: IntervalSampler | None = None) -> None:
         """Batch-apply the bookkeeping of ``plan.cycles`` idle cycles.
 
         Bumps exactly the stall counters the naive loop would have,
-        records the (constant) FTQ occupancy samples, lets the
+        records the (constant) FTQ occupancy samples, advances the
+        interval sampler across the window (retired instructions,
+        demand misses, and FTQ occupancy are provably constant inside
+        it, so boundary crossings are reconstructed exactly), lets the
         prefetcher catch up its internal clock, and jumps the cycle
         counter to one before the plan's progress bound.
         """
@@ -243,7 +268,11 @@ class Simulator:
             self.predict_unit.stats.bump(plan.predict_counter, n)
         if plan.retire_stalled:
             self.backend.stats.bump("retire_stall_cycles", n)
-        occupancy.observe(self.ftq.occupancy(), n)
+        occ = self.ftq.occupancy()
+        occupancy.observe(occ, n)
+        if sampler is not None:
+            sampler.advance(plan.target - 1, occ, self.backend.retired,
+                            self.memory.stats.get("demand_misses"))
         self.prefetcher.on_skip(plan.target - 1)
         self.cycle = plan.target - 1
         self.skipped_cycles += n
@@ -252,65 +281,51 @@ class Simulator:
         self._warmed = True
         self._measure_start_cycle = self.cycle
         self._measure_start_retired = self.backend.retired
-        for group in self._stat_groups():
-            group.reset()
+        self._reset_stats()
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
 
-    def _stat_groups(self) -> list[StatGroup]:
-        groups = list(self.prefetcher.extra_stat_groups())
-        return groups + [
+    def components(self) -> tuple[Component, ...]:
+        """The top-level telemetry components, in reporting order.
+
+        Every machine part implements :class:`repro.component.Component`;
+        nested parts (predictor and RAS under the prediction unit, FTB
+        levels, cache/bus/MSHR under the memory system, prefetcher
+        buffers) report through their parent's ``sub_components``.
+        """
+        return (self.ftq, self.predict_unit, self.ftb, self.fetch_engine,
+                self.prefetcher, self.backend, self.memory)
+
+    def _reset_stats(self) -> None:
+        self.stats.reset()
+        for component in self.components():
+            component.reset()
+
+    def telemetry_snapshot(self, intervals: IntervalSeries | None = None,
+                           ) -> TelemetrySnapshot:
+        """Snapshot the full telemetry tree for the measured region.
+
+        The root ``sim`` node carries the simulator's own counters and
+        the FTQ-occupancy histogram; each component hangs off it as a
+        subtree.  Safe to call mid-run (live view of current counters).
+        """
+        root = TelemetryNode.from_stat_group(
             self.stats,
-            self.ftq.stats,
-            self.predict_unit.stats,
-            self.predictor.stats,
-            self.ras.stats,
-            self.ftb.stats,
-            *([self.ftb.l1.stats, self.ftb.l2.stats]
-              if isinstance(self.ftb, TwoLevelFTB) else []),
-            self.fetch_engine.stats,
-            self.backend.stats,
-            self.memory.stats,
-            self.memory.l1i.stats,
-            self.memory.l2.stats,
-            self.memory.bus.stats,
-            self.memory.mshrs.stats,
-        ]
+            children=[component.telemetry()
+                      for component in self.components()])
+        meta = {
+            "name": self.name,
+            "prefetcher": self.config.prefetch.kind,
+            "cycles": self.cycle - self._measure_start_cycle,
+            "instructions": self.backend.retired
+            - self._measure_start_retired,
+        }
+        return TelemetrySnapshot(root=root, meta=meta, intervals=intervals)
 
-    def _collect(self) -> SimResult:
-        flat: dict[str, int] = {}
-        for group in self._stat_groups():
-            group.merged_into(flat)
-
-        cycles = self.cycle - self._measure_start_cycle
-        instructions = self.backend.retired - self._measure_start_retired
-        prefetches_issued = flat.get("mem.prefetches_issued", 0)
-        prefetches_useful = (flat.get("pbuf.useful_hits", 0)
-                             + flat.get("stream.head_hits", 0))
-        prefetches_late = flat.get("mem.late_prefetch_fills", 0)
-
-        occupancy = self.stats.histogram("ftq_occupancy")
-        return SimResult(
-            name=self.name,
-            prefetcher=self.config.prefetch.kind,
-            cycles=cycles,
-            instructions=instructions,
-            mispredicts=flat.get("predict.mispredicts", 0),
-            bpred_accuracy=self.predictor.accuracy,
-            ftq_mean_occupancy=occupancy.mean,
-            demand_misses=flat.get("mem.demand_misses", 0),
-            demand_merges=flat.get("mshr.demand_merges", 0),
-            bus_utilization=self.memory.bus.utilization(cycles),
-            l2_misses=flat.get("mem.l2_misses", 0),
-            prefetches_issued=prefetches_issued,
-            prefetches_useful=prefetches_useful,
-            prefetches_late=prefetches_late,
-            counters=flat,
-            ftq_occupancy_hist=occupancy.as_dict(),
-            fetch_block_hist=self.predict_unit.stats
-            .histogram("fetch_block_instrs").as_dict(),
-            prefetch_lead_hist=self.prefetcher.lead_histogram(),
-        )
+    def _collect(self, intervals: IntervalSeries | None = None) -> SimResult:
+        return SimResult.from_snapshot(self.telemetry_snapshot(intervals))
 
 
 def run_simulation(trace: Trace, config: SimConfig,

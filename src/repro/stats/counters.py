@@ -29,7 +29,15 @@ class Histogram:
         self._sum = 0
 
     def observe(self, value: int, weight: int = 1) -> None:
-        """Record ``value`` with the given ``weight``."""
+        """Record ``value`` with the given ``weight``.
+
+        A zero weight is a no-op (no bucket is created); negative
+        weights are rejected — they would corrupt the totals.
+        """
+        if weight <= 0:
+            if weight == 0:
+                return
+            raise ValueError(f"negative histogram weight: {weight}")
         self._counts[value] += weight
         self._total += weight
         self._sum += value * weight
@@ -106,7 +114,13 @@ class RunLengthObserver:
         self._weight = 0
 
     def observe(self, value: int, weight: int = 1) -> None:
-        """Record ``value`` for ``weight`` consecutive samples."""
+        """Record ``value`` for ``weight`` consecutive samples.
+
+        A zero-weight observe is a complete no-op: it neither flushes
+        the buffered run nor switches the tracked value.
+        """
+        if weight == 0:
+            return
         if value == self._value:
             self._weight += weight
         else:

@@ -10,9 +10,13 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
-__all__ = ["format_table", "rows_to_csv", "rows_to_json", "format_value"]
+if TYPE_CHECKING:
+    from repro.stats.telemetry import TelemetrySnapshot
+
+__all__ = ["format_table", "rows_to_csv", "rows_to_json", "format_value",
+           "telemetry_table"]
 
 
 def format_value(value: Any, precision: int = 3) -> str:
@@ -79,3 +83,26 @@ def rows_to_json(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     """Serialize rows as a JSON list of objects keyed by header names."""
     records = [dict(zip(headers, row)) for row in rows]
     return json.dumps(records, indent=2, sort_keys=False)
+
+
+def telemetry_table(snapshot: "TelemetrySnapshot") -> str:
+    """Human-readable counter table for one telemetry snapshot.
+
+    Walks the component tree in pre-order — the table reads like the
+    machine: front end first, memory hierarchy nested under ``mem`` —
+    with derived ratios appended per component.
+    """
+    rows: list[list[Any]] = []
+    for path, node in snapshot.root.walk():
+        for key in sorted(node.counters):
+            rows.append([path, key, node.counters[key]])
+        for key in sorted(node.derived):
+            rows.append([path, key, node.derived[key]])
+    meta = snapshot.meta
+    title = None
+    if meta.get("name"):
+        title = (f"{meta.get('name')} / {meta.get('prefetcher', '?')} — "
+                 f"{meta.get('cycles', '?')} cycles, "
+                 f"{meta.get('instructions', '?')} instructions")
+    return format_table(["component", "counter", "value"], rows,
+                        title=title)

@@ -10,9 +10,14 @@ its rendering so the harness, report generator, and CLI all agree.
 from __future__ import annotations
 
 from repro.stats.counters import StatGroup
+from repro.stats.telemetry import (
+    IntervalSeries,
+    TelemetrySnapshot,
+    merge_nodes,
+)
 
-__all__ = ["COUNTER_NAMES", "merge_counters", "sweep_stat_group",
-           "summary_line"]
+__all__ = ["COUNTER_NAMES", "merge_counters", "merge_snapshots",
+           "sweep_stat_group", "summary_line"]
 
 # Canonical counter vocabulary, in display order.
 COUNTER_NAMES: tuple[str, ...] = (
@@ -28,6 +33,40 @@ def merge_counters(*sources: dict[str, int]) -> dict[str, int]:
         for name, value in source.items():
             merged[name] = merged.get(name, 0) + value
     return merged
+
+
+def merge_snapshots(snapshots: "list[TelemetrySnapshot]",
+                    ) -> TelemetrySnapshot:
+    """Aggregate per-shard telemetry snapshots into one.
+
+    The substrate for cross-shard metric aggregation: counter trees add
+    node-by-node (see :func:`repro.stats.telemetry.merge_nodes`),
+    ``cycles``/``instructions`` metadata sums, and interval series
+    concatenate in input order when every shard used the same window
+    (they are dropped otherwise — splicing differently-windowed series
+    would fabricate data).
+    """
+    if not snapshots:
+        raise ValueError("merge_snapshots needs at least one snapshot")
+    root = merge_nodes([snap.root for snap in snapshots])
+    meta: dict[str, object] = {
+        "merged_from": [snap.meta.get("name") for snap in snapshots],
+        "cycles": sum(int(snap.meta.get("cycles", 0))
+                      for snap in snapshots),
+        "instructions": sum(int(snap.meta.get("instructions", 0))
+                            for snap in snapshots),
+    }
+    prefetchers = {snap.meta.get("prefetcher") for snap in snapshots}
+    if len(prefetchers) == 1:
+        meta["prefetcher"] = prefetchers.pop()
+    intervals = None
+    series = [snap.intervals for snap in snapshots
+              if snap.intervals is not None]
+    if series and len({s.window for s in series}) == 1:
+        samples = tuple(sample for s in series for sample in s.samples)
+        intervals = IntervalSeries(window=series[0].window,
+                                   samples=samples)
+    return TelemetrySnapshot(root=root, meta=meta, intervals=intervals)
 
 
 def sweep_stat_group(counters: dict[str, int]) -> StatGroup:

@@ -23,6 +23,18 @@ class TestFacade:
         assert callable(repro.sweep)
         assert callable(repro.make_runner)
 
+    def test_telemetry_types_exported_from_top_level(self):
+        from repro.stats.telemetry import TelemetryNode, TelemetrySnapshot
+
+        assert repro.TelemetryNode is TelemetryNode
+        assert repro.TelemetrySnapshot is TelemetrySnapshot
+        assert callable(repro.merge_snapshots)
+
+    def test_results_carry_telemetry_snapshot(self, tiny_trace):
+        result = simulate(tiny_trace)
+        assert isinstance(result.telemetry, repro.TelemetrySnapshot)
+        assert result.telemetry.root.name == "sim"
+
     def test_simulate_default_config(self, tiny_trace):
         result = simulate(tiny_trace)
         assert result.instructions > 0
@@ -52,6 +64,16 @@ class TestDeprecationShim:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             simulate(tiny_trace, SimConfig())
+
+    def test_readme_documents_api_facade_as_entry_point(self):
+        from pathlib import Path
+
+        readme = Path(__file__).resolve().parent.parent / "README.md"
+        text = " ".join(readme.read_text(encoding="utf-8").split())
+        assert "repro.api" in text
+        assert "only documented programmatic entry points" in text
+        # The legacy shim is documented as deprecated, not promoted.
+        assert "DeprecationWarning" in text
 
 
 class TestRegistry:

@@ -118,3 +118,48 @@ class TestCombinedPrefetcherCli:
                      "-p", "fdip_nlp"])
         assert code == 0
         assert "fdip_nlp" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    ARGS = ["stats", "-w", "compress_like", "--length", "4000"]
+
+    def test_table_output_walks_tree(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "sim/mem/l1i" in out
+        assert "sim/predict" in out
+
+    def test_json_emits_versioned_schema(self, capsys):
+        from repro.stats import SCHEMA
+
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == SCHEMA
+        assert payload["root"]["name"] == "sim"
+        assert payload["meta"]["prefetcher"] == "fdip"
+
+    def test_csv_counters(self, capsys):
+        assert main(self.ARGS + ["--csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "component,counter,value"
+        assert any(line.startswith("sim/mem,") for line in lines)
+
+    def test_interval_series_with_window(self, capsys):
+        assert main(self.ARGS + ["--window", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "interval series (window 500 cycles)" in out
+
+    def test_csv_intervals(self, capsys):
+        assert main(self.ARGS + ["--window", "500", "--csv",
+                                 "--intervals"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("interval,end_cycle,")
+        assert len(lines) > 2
+
+    def test_csv_intervals_without_window_fails(self, capsys):
+        assert main(self.ARGS + ["--csv", "--intervals"]) == 2
+        assert "--window" in capsys.readouterr().err
+
+    def test_json_and_csv_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(self.ARGS + ["--json", "--csv"])

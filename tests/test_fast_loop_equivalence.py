@@ -40,8 +40,14 @@ def both(trace: Trace, config: SimConfig):
 
 
 def assert_identical(naive, fast):
-    """Equality with a readable counter-level diff on failure."""
+    """Equality with a readable counter-level diff on failure.
+
+    ``SimResult`` equality covers the full telemetry snapshot (tree,
+    meta, and interval series), so every comparison here is also a
+    snapshot-identity assertion.
+    """
     if naive == fast:
+        assert naive.telemetry == fast.telemetry
         return
     diffs = [f"{key}: naive={naive.counters.get(key)} "
              f"fast={fast.counters.get(key)}"
@@ -53,6 +59,14 @@ def assert_identical(naive, fast):
         if getattr(naive, field) != getattr(fast, field):
             diffs.append(f"{field}: naive={getattr(naive, field)!r} "
                          f"fast={getattr(fast, field)!r}")
+    if naive.telemetry != fast.telemetry:
+        nt, ft = naive.telemetry, fast.telemetry
+        if nt is not None and ft is not None \
+                and nt.intervals != ft.intervals:
+            diffs.append(f"intervals: naive={nt.intervals!r} "
+                         f"fast={ft.intervals!r}")
+        else:
+            diffs.append("telemetry snapshots differ")
     raise AssertionError("fast loop diverged from naive loop:\n  "
                          + "\n  ".join(diffs))
 
@@ -96,6 +110,48 @@ def test_warmup_reset_straddles_skip_window(traces):
         naive, fast, sim = both(traces[SEEDS[0]], config)
         assert_identical(naive, fast)
         assert sim.skipped_cycles > 0
+
+
+@pytest.mark.parametrize("kind", (PrefetcherKind.NONE,
+                                  PrefetcherKind.FDIP,
+                                  PrefetcherKind.STREAM))
+def test_interval_series_identical_under_batching(traces, kind):
+    """Per-window interval samples must be bit-identical fast vs naive.
+
+    The sampler reconstructs window boundaries that fall *inside* a
+    skipped-cycle batch analytically; a small window against a
+    stall-heavy run makes many boundaries land mid-skip.
+    """
+    config = SimConfig(prefetch=PrefetchConfig(kind=kind),
+                       telemetry_window=64)
+    config = config.replace(
+        memory=replace(config.memory, memory_latency=400))
+    naive, fast, sim = both(traces[SEEDS[0]], config)
+    assert sim.skipped_cycles > 0
+    assert naive.telemetry is not None and fast.telemetry is not None
+    assert naive.telemetry.intervals is not None
+    assert naive.telemetry.intervals == fast.telemetry.intervals
+    assert_identical(naive, fast)
+    # The series must tile the measured region: windows are contiguous,
+    # and the per-window instruction deltas sum to the run's total.
+    samples = fast.telemetry.intervals.samples
+    assert sum(s.instructions for s in samples) == fast.instructions
+    assert sum(s.cycles for s in samples) == fast.cycles
+    assert samples[-1].end_cycle == sim.cycle
+
+
+def test_interval_series_with_warmup_reset(traces):
+    """The series restarts at the measurement origin after warm-up."""
+    config = SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.NONE),
+                       warmup_instructions=1000, telemetry_window=64)
+    config = config.replace(
+        memory=replace(config.memory, memory_latency=400))
+    naive, fast, sim = both(traces[SEEDS[0]], config)
+    assert sim.skipped_cycles > 0
+    assert_identical(naive, fast)
+    samples = fast.telemetry.intervals.samples
+    assert sum(s.instructions for s in samples) == fast.instructions
+    assert sum(s.cycles for s in samples) == fast.cycles
 
 
 def test_tracer_forces_naive_loop(traces):

@@ -50,6 +50,58 @@ class TestSerialization:
             result_from_dict({"name": "w"})
 
 
+class TestSchemaVersioning:
+    def _live_result(self, small_trace):
+        from repro.config import SimConfig
+        from repro.sim.simulator import Simulator
+
+        config = SimConfig().replace(telemetry_window=256)
+        return Simulator(small_trace, config).run()
+
+    def test_payload_carries_schema_version(self):
+        from repro.sim.serialize import SCHEMA_VERSION
+
+        payload = result_to_dict(make_result())
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_v1_payload_migrates_to_no_telemetry(self):
+        """Pre-telemetry payloads (no version field) still load."""
+        payload = result_to_dict(make_result())
+        del payload["schema_version"]
+        del payload["telemetry"]
+        restored = result_from_dict(payload)
+        assert restored.telemetry is None
+        assert restored.cycles == 1000
+
+    def test_newer_schema_rejected(self):
+        payload = result_to_dict(make_result())
+        payload["schema_version"] = 99
+        with pytest.raises(ReproError, match="newer"):
+            result_from_dict(payload)
+
+    def test_bad_schema_version_rejected(self):
+        payload = result_to_dict(make_result())
+        payload["schema_version"] = "two"
+        with pytest.raises(ReproError):
+            result_from_dict(payload)
+
+    def test_telemetry_roundtrip_full(self, small_trace):
+        """A live result — tree, meta, and interval series — survives
+        JSON byte-for-byte, including telemetry equality."""
+        original = self._live_result(small_trace)
+        assert original.telemetry is not None
+        assert original.telemetry.intervals is not None
+        restored = result_from_json(result_to_json(original))
+        assert restored.telemetry == original.telemetry
+        assert restored == original
+
+    def test_telemetry_none_roundtrip(self):
+        original = make_result()   # constructed directly: no snapshot
+        restored = result_from_json(result_to_json(original))
+        assert restored.telemetry is None
+        assert restored == original
+
+
 class TestResultStore:
     def test_store_and_load(self, tmp_path):
         store = ResultStore(tmp_path)

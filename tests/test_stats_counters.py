@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.stats import Histogram, StatGroup
+from repro.stats import Histogram, RunLengthObserver, StatGroup
 
 
 class TestStatGroup:
@@ -133,3 +133,76 @@ class TestHistogram:
         hist.observe(1, weight=10)
         hist.observe(2)
         assert len(hist) == 2
+
+
+class TestHistogramEdgeCases:
+    def test_percentile_single_bucket(self):
+        hist = Histogram()
+        hist.observe(7, weight=100)
+        for q in (0.001, 0.5, 0.9, 1.0):
+            assert hist.percentile(q) == 7
+
+    def test_zero_weight_observe_is_noop(self):
+        hist = Histogram()
+        hist.observe(3, weight=0)
+        assert hist.total == 0
+        assert len(hist) == 0            # no bucket created
+        assert hist.as_dict() == {}
+        with pytest.raises(ValueError):
+            hist.percentile(0.5)         # still empty
+
+    def test_negative_weight_rejected(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.observe(3, weight=-1)
+        assert hist.total == 0
+
+    def test_zero_weight_after_samples_changes_nothing(self):
+        hist = Histogram()
+        hist.observe(2, weight=5)
+        before = hist.as_dict()
+        hist.observe(9, weight=0)
+        assert hist.as_dict() == before
+        assert hist.mean == 2.0
+
+
+class TestRunLengthObserver:
+    def test_flush_on_finalize(self):
+        """The buffered run only reaches the histogram on flush."""
+        hist = Histogram()
+        obs = RunLengthObserver(hist)
+        obs.observe(4, weight=3)
+        assert hist.total == 0           # still buffered
+        obs.flush()
+        assert hist.as_dict() == {4: 3}
+        obs.flush()                      # idempotent: nothing buffered
+        assert hist.as_dict() == {4: 3}
+
+    def test_run_compression_matches_per_sample(self):
+        direct, compressed = Histogram(), Histogram()
+        obs = RunLengthObserver(compressed)
+        series = [1, 1, 1, 2, 2, 0, 0, 0, 0, 3]
+        for value in series:
+            direct.observe(value)
+            obs.observe(value)
+        obs.flush()
+        assert compressed.as_dict() == direct.as_dict()
+
+    def test_zero_weight_observe_is_complete_noop(self):
+        """weight=0 must neither flush the run nor switch the value."""
+        hist = Histogram()
+        obs = RunLengthObserver(hist)
+        obs.observe(5, weight=2)
+        obs.observe(7, weight=0)         # must not end the run of 5s
+        obs.observe(5, weight=1)         # extends the same run
+        obs.flush()
+        assert hist.as_dict() == {5: 3}
+
+    def test_value_switch_flushes_previous_run(self):
+        hist = Histogram()
+        obs = RunLengthObserver(hist)
+        obs.observe(1, weight=2)
+        obs.observe(2, weight=4)
+        assert hist.as_dict() == {1: 2}  # first run flushed by switch
+        obs.flush()
+        assert hist.as_dict() == {1: 2, 2: 4}
