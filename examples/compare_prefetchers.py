@@ -13,6 +13,7 @@ Usage::
 
 import sys
 
+from repro import ExperimentSpec, Point
 from repro.harness import Runner, TECHNIQUE_ORDER, technique_config
 from repro.stats import format_table
 from repro.workloads import ALL_WORKLOADS
@@ -25,6 +26,16 @@ def main() -> int:
     runner = Runner(trace_length=length)
     baseline = technique_config("none")
     techniques = [t for t in TECHNIQUE_ORDER if t != "none"]
+
+    # Prewarm the whole grid fault-tolerantly with the typed spec API;
+    # the runner.run calls below then replay memoized results.
+    spec = ExperimentSpec.of(
+        [Point(workload, technique_config(technique),
+               label=f"{workload}/{technique}")
+         for workload in workloads
+         for technique in TECHNIQUE_ORDER],
+        name="compare-prefetchers")
+    runner.sweep(spec)
 
     rows = []
     for workload in workloads:

@@ -43,6 +43,8 @@ from repro.errors import (
     TraceError,
 )
 from repro.api import (
+    ExperimentSpec,
+    Point,
     TelemetryNode,
     TelemetrySnapshot,
     make_runner,
@@ -74,6 +76,9 @@ __all__ = [
     "sweep",
     "make_runner",
     "run_simulation",
+    # experiment specs
+    "Point",
+    "ExperimentSpec",
     # telemetry
     "TelemetryNode",
     "TelemetrySnapshot",

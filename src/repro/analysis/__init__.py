@@ -1,13 +1,17 @@
-"""Post-simulation analysis: stall accounting and prefetch timeliness."""
+"""Post-simulation analysis: stall accounting, prefetch timeliness,
+and shard-accuracy calibration."""
 
 from repro.analysis.chart import bar_chart, histogram_chart
 from repro.analysis.pipetrace import CycleSnapshot, PipeTracer
+from repro.analysis.sharding import ShardAccuracy, overlap_sensitivity
 from repro.analysis.stalls import StallBreakdown, stall_breakdown
 from repro.analysis.timeliness import TimelinessSummary, timeliness_summary
 
 __all__ = [
     "bar_chart",
     "histogram_chart",
+    "ShardAccuracy",
+    "overlap_sensitivity",
     "PipeTracer",
     "CycleSnapshot",
     "StallBreakdown",

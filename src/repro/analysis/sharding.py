@@ -1,0 +1,100 @@
+"""Shard-accuracy analysis: merged-vs-monolithic deltas vs overlap.
+
+Sharded simulation is an approximation — each window's entry state is
+reconstructed (functionally fast-forwarded prefix + timed overlap)
+rather than inherited, so the merged IPC/MPKI drift from the monolithic
+run.  :func:`overlap_sensitivity` measures that drift across a grid of
+shard counts and overlaps on one workload, producing the calibration
+table from which :data:`~repro.sim.sharding.DEFAULT_SHARD_OVERLAP` was
+chosen (see ``docs/performance.md``; regenerate with ``repro shard
+--calibrate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.sim.results import SimResult
+
+__all__ = ["ShardAccuracy", "overlap_sensitivity",
+           "DEFAULT_CALIBRATION_SHARDS", "DEFAULT_CALIBRATION_OVERLAPS"]
+
+DEFAULT_CALIBRATION_SHARDS = (2, 4, 8)
+DEFAULT_CALIBRATION_OVERLAPS = (0, 1000, 2000, 4000)
+
+
+@dataclass(frozen=True)
+class ShardAccuracy:
+    """Merged-vs-monolithic deltas for one (shards, overlap) cell."""
+
+    shards: int
+    overlap: int
+    ipc: float
+    ipc_error: float          # (sharded - mono) / mono
+    l1i_mpki: float
+    l1i_mpki_delta: float     # sharded - mono
+    overhead: float           # extra simulated instructions fraction
+
+    def row(self) -> list:
+        return [self.shards, self.overlap, self.ipc,
+                f"{self.ipc_error * 100:+.3f}%", self.l1i_mpki,
+                f"{self.l1i_mpki_delta:+.4f}",
+                f"{self.overhead * 100:.2f}%"]
+
+    @staticmethod
+    def headers() -> list[str]:
+        return ["shards", "overlap", "ipc", "ipc err", "l1i mpki",
+                "mpki delta", "extra sim"]
+
+
+def overlap_sensitivity(workload: str, trace_length: int,
+                        seed: int = 1,
+                        config: SimConfig | None = None, *,
+                        shard_counts=DEFAULT_CALIBRATION_SHARDS,
+                        overlaps=DEFAULT_CALIBRATION_OVERLAPS,
+                        warm: str = "functional",
+                        processes: int | None = 1,
+                        ) -> tuple[SimResult, list[ShardAccuracy]]:
+    """Measure merged-vs-monolithic error across (shards, overlap).
+
+    Simulates the workload once monolithically, then once per grid
+    cell, and returns ``(monolithic_result, cells)``.  ``processes``
+    defaults to inline execution (the grid is small and each cell is
+    itself parallelizable); pass ``None`` to let each cell fan out.
+    """
+    from repro.harness.shard_runner import run_sharded_workload
+    from repro.sim.sharding import plan_shards
+    from repro.workloads import build_trace
+
+    if config is None:
+        config = SimConfig()
+    if config.warmup_instructions == 0:
+        config = config.replace(warmup_instructions=trace_length // 5)
+
+    trace = build_trace(workload, trace_length, seed=seed)
+    from repro.api import simulate
+
+    mono = simulate(trace, config, name=workload)
+    cells: list[ShardAccuracy] = []
+    for shards in shard_counts:
+        for overlap in overlaps:
+            try:
+                # Infeasible cells (run-level warm-up larger than the
+                # first window) are skipped, not fatal — they only
+                # occur for aggressive shard counts on short traces.
+                plan = plan_shards(trace_length, shards, overlap,
+                                   warmup=config.warmup_instructions)
+            except ConfigError:
+                continue
+            result = run_sharded_workload(
+                workload, trace_length, seed, config, shards=shards,
+                overlap=overlap, warm=warm, processes=processes)
+            cells.append(ShardAccuracy(
+                shards=shards, overlap=overlap, ipc=result.ipc,
+                ipc_error=(result.ipc - mono.ipc) / mono.ipc,
+                l1i_mpki=result.l1i_mpki,
+                l1i_mpki_delta=result.l1i_mpki - mono.l1i_mpki,
+                overhead=plan.overhead))
+    return mono, cells

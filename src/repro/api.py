@@ -5,11 +5,15 @@ examples, benchmarks, and CLI all go through it.  It intentionally
 exposes a small surface:
 
 - :func:`simulate` — run one (trace, config) point to a
-  :class:`~repro.sim.results.SimResult`;
+  :class:`~repro.sim.results.SimResult`, optionally sharded across
+  worker processes (``shards=K``);
 - :func:`make_runner` — construct the memoizing experiment
   :class:`~repro.harness.runner.Runner`;
-- :func:`sweep` — run many (workload, config) points fault-tolerantly
-  in parallel.
+- :func:`sweep` — run many points fault-tolerantly in parallel, where
+  a point is a typed :class:`~repro.harness.spec.Point` (legacy
+  ``(workload, config)`` tuples remain accepted with a
+  :class:`DeprecationWarning`) and :class:`~repro.harness.spec.
+  ExperimentSpec` names a whole collection.
 
 Every :class:`~repro.sim.results.SimResult` carries the full
 hierarchical telemetry tree on ``result.telemetry`` (a
@@ -37,7 +41,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.config import SimConfig
+from repro.errors import ConfigError
 from repro.sim.results import SimResult
+from repro.spec import (  # noqa: F401  (re-exported)
+    ExperimentSpec,
+    Point,
+)
 from repro.sim.simulator import Simulator
 from repro.stats import TelemetryNode, TelemetrySnapshot, \
     merge_snapshots  # noqa: F401  (re-exported)
@@ -48,12 +57,16 @@ if TYPE_CHECKING:
     from repro.harness.runner import Runner
 
 __all__ = ["simulate", "make_runner", "sweep",
+           "Point", "ExperimentSpec",
            "TelemetryNode", "TelemetrySnapshot", "merge_snapshots"]
 
 
 def simulate(trace: Trace, config: SimConfig | None = None, *,
              name: str | None = None, tracer=None,
-             fast_loop: bool | None = None) -> SimResult:
+             fast_loop: bool | None = None,
+             shards: int | None = None,
+             shard_overlap: int | None = None,
+             processes: int | None = None) -> SimResult:
     """Simulate ``trace`` under ``config`` and return the result.
 
     ``config`` defaults to a stock :class:`~repro.config.SimConfig`.
@@ -62,47 +75,78 @@ def simulate(trace: Trace, config: SimConfig | None = None, *,
     naive cycle loop), and ``fast_loop`` overrides ``config.fast_loop``
     for this run — the fast path is bit-identical to the naive loop
     (see ``docs/performance.md``), so the default of on is safe.
+
+    ``shards=K`` splits the trace into ``K`` windows simulated on a
+    supervised process pool (``processes`` workers) and merges the
+    telemetry; ``shard_overlap`` sets each window's timed warm-up
+    prefix (see :mod:`repro.sim.sharding`).  ``shards=1`` (and the
+    default of ``None``) runs monolithically; a ``tracer`` does not
+    compose with sharding.
     """
     if config is None:
         config = SimConfig()
+    if shards is not None and shards > 1:
+        if tracer is not None:
+            raise ConfigError(
+                "a pipeline tracer does not compose with sharded "
+                "simulation; run with shards=1 to trace")
+        from repro.harness.shard_runner import run_sharded
+
+        if fast_loop is not None:
+            config = config.replace(fast_loop=fast_loop)
+        return run_sharded(trace, config, shards=shards,
+                           overlap=shard_overlap, name=name,
+                           processes=processes)
     return Simulator(trace, config, name=name, tracer=tracer,
                      fast_loop=fast_loop).run()
 
 
 def make_runner(trace_length: int | None = None, seed: int = 1,
                 warmup_fraction: float = 0.2,
-                persist_dir: str | None = None) -> "Runner":
+                persist_dir: str | None = None,
+                shards: int | None = None,
+                shard_overlap: int | None = None,
+                processes: int | None = None) -> "Runner":
     """Construct the memoizing experiment runner.
 
     A thin constructor wrapper so callers need not import
     :mod:`repro.harness` directly; see
     :class:`~repro.harness.runner.Runner` for the semantics of each
-    parameter.
+    parameter.  ``shards``/``shard_overlap`` set the runner's
+    transparent sharding policy for long traces; ``processes`` is its
+    default worker budget.
     """
     from repro.harness.runner import Runner
 
     return Runner(trace_length=trace_length, seed=seed,
                   warmup_fraction=warmup_fraction,
-                  persist_dir=persist_dir)
+                  persist_dir=persist_dir, shards=shards,
+                  shard_overlap=shard_overlap, processes=processes)
 
 
-def sweep(points: "list[tuple[str, SimConfig]]", *,
-          trace_length: int | None = None, seed: int = 1,
+def sweep(points: "list[Point | tuple[str, SimConfig]] | ExperimentSpec",
+          *, trace_length: int | None = None, seed: int = 1,
           warmup_fraction: float = 0.2, processes: int | None = None,
           max_retries: int = 2, point_timeout: float | None = None,
-          checkpoint: str | None = None,
-          resume: bool = False) -> "SweepOutcome":
-    """Run many (workload name, config) points fault-tolerantly.
+          checkpoint: str | None = None, resume: bool = False,
+          shards: int | None = None,
+          shard_overlap: int | None = None) -> "SweepOutcome":
+    """Run many sweep points fault-tolerantly.
 
-    Fans out across ``processes`` workers with per-point retries,
-    optional timeouts, and checkpoint/resume — the same machinery the
-    experiment harness uses (see
-    :meth:`repro.harness.runner.Runner.sweep`).  Returns the
-    :class:`~repro.harness.parallel.SweepOutcome` mapping each point to
-    its result.
+    ``points`` is a list of typed :class:`~repro.spec.Point` objects,
+    an :class:`~repro.spec.ExperimentSpec`, or legacy ``(workload,
+    config)`` tuples (deprecated; warns once per process).  Fans out
+    across ``processes`` workers with per-point retries, optional
+    timeouts, and checkpoint/resume — the same machinery the experiment
+    harness uses (see :meth:`repro.harness.runner.Runner.sweep`).
+    ``shards``/``shard_overlap`` set the default per-point sharding
+    policy (a point's own ``shards`` wins).  Returns the
+    :class:`~repro.harness.parallel.SweepOutcome` mapping each point's
+    ``(workload, config)`` identity to its result.
     """
     runner = make_runner(trace_length=trace_length, seed=seed,
-                         warmup_fraction=warmup_fraction)
+                         warmup_fraction=warmup_fraction,
+                         shards=shards, shard_overlap=shard_overlap)
     return runner.sweep(points, processes=processes,
                         max_retries=max_retries,
                         point_timeout=point_timeout,

@@ -10,9 +10,14 @@ Subcommands::
     python -m repro calibrate                    # workload band checks
     python -m repro report -o report.md          # all experiments -> md
     python -m repro sweep -t none fdip_enqueue   # fault-tolerant sweep
+    python -m repro shard -w gcc_like --shards 4 # sharded single trace
     python -m repro perf                         # fast-loop throughput
 
-Every subcommand accepts ``--length`` (trace length) and ``--seed``.
+Every subcommand accepts ``--length`` (alias ``--trace-length``) and
+``--seed``; the pool-backed subcommands (``sweep``, ``stats``,
+``shard``, ``perf``) share ``--processes``, ``--max-retries``, and
+``--point-timeout`` via one parent parser, so the flags spell and
+behave identically everywhere.
 ``run`` prints a metrics table, or JSON with ``--json``.  ``stats``
 dumps the full hierarchical telemetry tree — human table by default,
 the versioned snapshot schema with ``--json``, flat
@@ -47,6 +52,42 @@ from repro.workloads import ALL_WORKLOADS, build_trace, get_profile
 
 __all__ = ["main", "build_parser"]
 
+_DEFAULT_LENGTH = 60_000
+
+
+def _trace_flags() -> argparse.ArgumentParser:
+    """Shared ``--length``/``--seed`` parent parser.
+
+    ``--length`` defaults to ``None`` so each subcommand can resolve
+    its own fallback (see :func:`_length`); most use 60 000, ``perf``
+    keeps its quick/default benchmark lengths.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--length", "--trace-length", dest="length",
+                        type=int, default=None,
+                        help="trace length in instructions "
+                             f"(default {_DEFAULT_LENGTH})")
+    parent.add_argument("--seed", type=int, default=1,
+                        help="trace walk seed")
+    return parent
+
+
+def _pool_flags() -> argparse.ArgumentParser:
+    """Shared supervised-pool parent parser (sweep/stats/shard/perf)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--processes", type=int, default=None,
+                        help="worker processes (1 = inline)")
+    parent.add_argument("--max-retries", type=int, default=2,
+                        help="retries per point after the first attempt")
+    parent.add_argument("--point-timeout", type=float, default=None,
+                        help="wall-clock seconds per point attempt")
+    return parent
+
+
+def _length(args: argparse.Namespace,
+            fallback: int = _DEFAULT_LENGTH) -> int:
+    return args.length if args.length is not None else fallback
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -55,21 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
                     "1999) reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--length", type=int, default=60_000,
-                       help="trace length in instructions")
-        p.add_argument("--seed", type=int, default=1,
-                       help="trace walk seed")
+    trace_flags = _trace_flags()
+    pool_flags = _pool_flags()
 
     sub.add_parser("list", help="list workloads and techniques")
 
-    p_char = sub.add_parser("characterize",
+    p_char = sub.add_parser("characterize", parents=[trace_flags],
                             help="characterize a workload trace")
     p_char.add_argument("-w", "--workload", required=True,
                         choices=ALL_WORKLOADS)
-    common(p_char)
 
-    p_run = sub.add_parser("run", help="run one simulation")
+    p_run = sub.add_parser("run", parents=[trace_flags],
+                           help="run one simulation")
     p_run.add_argument("-w", "--workload", required=True,
                        choices=ALL_WORKLOADS)
     p_run.add_argument("-p", "--prefetcher", default=PrefetcherKind.FDIP,
@@ -83,10 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--naive-loop", action="store_true",
                        help="disable the fast-path cycle engine "
                             "(results are identical either way)")
-    common(p_run)
 
     p_stats = sub.add_parser(
-        "stats",
+        "stats", parents=[trace_flags, pool_flags],
         help="run one simulation, dump the hierarchical telemetry tree")
     p_stats.add_argument("-w", "--workload", required=True,
                          choices=ALL_WORKLOADS)
@@ -107,24 +144,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--intervals", action="store_true",
                          help="with --csv: emit the interval series "
                               "instead of the counters")
-    common(p_stats)
+    p_stats.add_argument("--shards", type=int, default=1,
+                         help="split the trace into this many merged "
+                              "windows (see 'repro shard')")
+    p_stats.add_argument("--shard-overlap", type=int, default=None,
+                         help="timed warm-up overlap per shard "
+                              "(instructions)")
 
-    p_exp = sub.add_parser("experiment", help="regenerate one experiment")
+    p_exp = sub.add_parser("experiment", parents=[trace_flags],
+                           help="regenerate one experiment")
     p_exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS),
                        metavar="EXPERIMENT",
                        help=f"one of {', '.join(sorted(EXPERIMENTS))}")
-    common(p_exp)
 
-    p_cal = sub.add_parser("calibrate",
+    p_cal = sub.add_parser("calibrate", parents=[trace_flags],
                            help="check workload profiles against their "
                                 "calibration bands")
     p_cal.add_argument("-w", "--workload", default=None,
                        choices=ALL_WORKLOADS,
                        help="one profile (default: the whole suite)")
-    common(p_cal)
 
     p_sw = sub.add_parser(
-        "sweep",
+        "sweep", parents=[trace_flags, pool_flags],
         help="fault-tolerant parallel sweep over workloads x techniques")
     p_sw.add_argument("-w", "--workloads", nargs="+", default=None,
                       choices=ALL_WORKLOADS,
@@ -132,21 +173,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("-t", "--techniques", nargs="+",
                       default=["none", "fdip_enqueue"],
                       choices=TECHNIQUE_ORDER)
-    p_sw.add_argument("--processes", type=int, default=None,
-                      help="worker processes (1 = inline)")
-    p_sw.add_argument("--max-retries", type=int, default=2,
-                      help="retries per point after the first attempt")
-    p_sw.add_argument("--point-timeout", type=float, default=None,
-                      help="wall-clock seconds per point attempt")
     p_sw.add_argument("--resume", action="store_true",
                       help="skip points already in the checkpoint store")
     p_sw.add_argument("--checkpoint-dir", default=None,
                       help="result store + sweep manifest directory "
                            "(default: $REPRO_RESULT_CACHE)")
-    common(p_sw)
+
+    p_shard = sub.add_parser(
+        "shard", parents=[trace_flags, pool_flags],
+        help="simulate one trace as K merged windows "
+             "(sharded execution)")
+    p_shard.add_argument("-w", "--workload", required=True,
+                         choices=ALL_WORKLOADS)
+    p_shard.add_argument("-p", "--prefetcher",
+                         default=PrefetcherKind.FDIP,
+                         choices=PrefetcherKind.ALL)
+    p_shard.add_argument("-f", "--filter", default=FilterMode.ENQUEUE,
+                         choices=FilterMode.ALL,
+                         help="cache probe filtering mode (fdip only)")
+    p_shard.add_argument("--warmup", type=int, default=0,
+                         help="run-level warm-up instructions "
+                              "(default: length // 5)")
+    p_shard.add_argument("--shards", type=int, default=4,
+                         help="number of merged windows")
+    p_shard.add_argument("--shard-overlap", type=int, default=None,
+                         help="timed warm-up overlap per shard "
+                              "(instructions)")
+    p_shard.add_argument("--warm", default="functional",
+                         choices=("functional", "overlap"),
+                         help="shard warm-up mode")
+    p_shard.add_argument("--compare", action="store_true",
+                         help="also run monolithically and report the "
+                              "merged-vs-monolithic deltas")
+    p_shard.add_argument("--calibrate", action="store_true",
+                         help="sweep (shards x overlap) and report the "
+                              "accuracy table instead of one run")
+    p_shard.add_argument("--json", action="store_true",
+                         help="emit metrics + shard provenance as JSON")
 
     p_perf = sub.add_parser(
-        "perf",
+        "perf", parents=[trace_flags, pool_flags],
         help="measure simulated-instructions/second, fast vs naive loop")
     p_perf.add_argument("--quick", action="store_true",
                         help="short traces (CI smoke mode)")
@@ -159,13 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--max-regression", type=float, default=None,
                         help="allowed fractional fast-loop throughput "
                              "drop vs the baseline (default 0.30)")
-    p_perf.add_argument("--length", type=int, default=None,
-                        help="trace length in instructions "
-                             "(overrides --quick)")
     p_perf.add_argument("--reps", type=int, default=3,
                         help="timing repetitions per point (best-of)")
 
-    p_rep = sub.add_parser("report",
+    p_rep = sub.add_parser("report", parents=[trace_flags],
                            help="run every experiment, emit markdown")
     p_rep.add_argument("-o", "--output", default="-",
                        help="output file ('-' for stdout)")
@@ -174,7 +237,6 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--processes", type=int, default=None,
                        help="prewarm the main grid with this many "
                             "supervised workers before reporting")
-    common(p_rep)
 
     return parser
 
@@ -192,7 +254,7 @@ def _cmd_list() -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    trace = build_trace(args.workload, args.length, seed=args.seed)
+    trace = build_trace(args.workload, _length(args), seed=args.seed)
     stats = characterize(trace)
     rows = [
         ["records", stats.n_records],
@@ -203,12 +265,12 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         ["taken fraction", stats.taken_fraction],
     ]
     print(format_table(["metric", "value"], rows,
-                       title=f"{args.workload} ({args.length} instrs)"))
+                       title=f"{args.workload} ({_length(args)} instrs)"))
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    trace = build_trace(args.workload, args.length, seed=args.seed)
+    trace = build_trace(args.workload, _length(args), seed=args.seed)
     config = SimConfig()
     config = technique_config(_technique_name(args), config)
     if args.warmup:
@@ -248,13 +310,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    trace = build_trace(args.workload, args.length, seed=args.seed)
+    trace = build_trace(args.workload, _length(args), seed=args.seed)
     config = technique_config(_technique_name(args), SimConfig())
     if args.warmup:
         config = config.replace(warmup_instructions=args.warmup)
     if args.window:
         config = config.replace(telemetry_window=args.window)
-    result = simulate(trace, config)
+    if args.shards > 1:
+        from repro.harness.shard_runner import run_sharded
+
+        result = run_sharded(trace, config, shards=args.shards,
+                             overlap=args.shard_overlap,
+                             processes=args.processes,
+                             max_retries=args.max_retries,
+                             point_timeout=args.point_timeout)
+    else:
+        result = simulate(trace, config)
     snapshot = result.telemetry
     assert snapshot is not None   # live runs always carry a snapshot
 
@@ -291,7 +362,7 @@ def _technique_name(args: argparse.Namespace) -> str:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    runner = Runner(trace_length=args.length, seed=args.seed)
+    runner = Runner(trace_length=_length(args), seed=args.seed)
     table = EXPERIMENTS[args.experiment_id](runner)
     print(table.formatted())
     return 0
@@ -300,16 +371,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.workloads import calibrate, calibrate_suite
     if args.workload:
-        reports = [calibrate(args.workload, args.length, args.seed)]
+        reports = [calibrate(args.workload, _length(args), args.seed)]
     else:
-        reports = calibrate_suite(args.length, args.seed)
+        reports = calibrate_suite(_length(args), args.seed)
     rows = [[r.name, "ok" if r.ok else "FAIL", r.dyn_footprint_kb,
              r.control_fraction, r.taken_fraction, r.base_mpki,
              "; ".join(r.failures)] for r in reports]
     print(format_table(
         ["workload", "status", "dyn KB", "ctrl", "taken", "mpki",
          "failures"], rows,
-        title=f"calibration at {args.length} instructions"))
+        title=f"calibration at {_length(args)} instructions"))
     return 0 if all(r.ok for r in reports) else 1
 
 
@@ -326,7 +397,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                           "were checkpointed")
     store = ResultStore(checkpoint) if checkpoint else None
     outcome = parallel_sweep(
-        points, trace_length=args.length, seed=args.seed,
+        points, trace_length=_length(args), seed=args.seed,
         processes=args.processes, max_retries=args.max_retries,
         point_timeout=args.point_timeout, store=store,
         checkpoint=checkpoint, resume=args.resume)
@@ -339,7 +410,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                      result.bus_utilization])
     print(format_table(
         ["workload", "technique", "ipc", "l1i_mpki", "bus util"], rows,
-        title=f"sweep at {args.length} instructions, seed {args.seed}"))
+        title=f"sweep at {_length(args)} instructions, "
+              f"seed {args.seed}"))
     technique_of = {(workload, config): technique
                     for workload, technique, config in triples}
     for failure in outcome.failures:
@@ -352,15 +424,104 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 3
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    length = _length(args)
+    config = technique_config(_technique_name(args), SimConfig())
+    warmup = args.warmup or length // 5
+    config = config.replace(warmup_instructions=warmup)
+
+    if args.calibrate:
+        from repro.analysis.sharding import (
+            ShardAccuracy,
+            overlap_sensitivity,
+        )
+
+        mono, cells = overlap_sensitivity(
+            args.workload, length, args.seed, config, warm=args.warm,
+            processes=args.processes)
+        print(format_table(
+            ShardAccuracy.headers(), [cell.row() for cell in cells],
+            title=f"{args.workload} sharding accuracy vs monolithic "
+                  f"(ipc {mono.ipc:.4f}, l1i mpki {mono.l1i_mpki:.4f}, "
+                  f"{length} instrs, warm={args.warm})"))
+        return 0
+
+    from repro.harness.shard_runner import run_sharded_workload
+
+    result = run_sharded_workload(
+        args.workload, length, args.seed, config, shards=args.shards,
+        overlap=args.shard_overlap, warm=args.warm,
+        processes=args.processes, max_retries=args.max_retries,
+        point_timeout=args.point_timeout)
+    provenance = result.telemetry.meta["sharding"]
+
+    mono = None
+    if args.compare:
+        trace = build_trace(args.workload, length, seed=args.seed)
+        mono = simulate(trace, config, name=args.workload)
+
+    if args.json:
+        payload = {
+            "workload": result.name,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "ipc": result.ipc,
+            "l1i_mpki": result.l1i_mpki,
+            "sharding": provenance,
+        }
+        if mono is not None:
+            payload["monolithic"] = {
+                "cycles": mono.cycles, "ipc": mono.ipc,
+                "l1i_mpki": mono.l1i_mpki,
+                "ipc_error": (result.ipc - mono.ipc) / mono.ipc,
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    rows = [
+        ["IPC", result.ipc],
+        ["cycles", result.cycles],
+        ["instructions", result.instructions],
+        ["L1-I MPKI", result.l1i_mpki],
+        ["shards", provenance["shards"]],
+        ["overlap", provenance["overlap"]],
+        ["warm mode", provenance["warm"]],
+    ]
+    if mono is not None:
+        rows.append(["monolithic IPC", mono.ipc])
+        rows.append(["IPC error",
+                     f"{(result.ipc - mono.ipc) / mono.ipc * 100:+.3f}%"])
+        rows.append(["monolithic L1-I MPKI", mono.l1i_mpki])
+        rows.append(["MPKI delta",
+                     f"{result.l1i_mpki - mono.l1i_mpki:+.4f}"])
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.workload} sharded x{provenance['shards']} "
+              f"({length} instrs)"))
+    windows = [[w["shard"], w["start"], w["stop"], w["warmup"],
+                w["instructions"],
+                f"{w['cycle_range'][0]}..{w['cycle_range'][1]}"]
+               for w in provenance["windows"]]
+    print()
+    print(format_table(
+        ["shard", "start", "stop", "warmup", "instrs", "cycle range"],
+        windows, title="shard windows"))
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     import os
 
     from repro import perf
 
+    if args.processes not in (None, 1):
+        print("note: perf times each point inline; --processes is "
+              "ignored to keep timings honest", file=sys.stderr)
     length = args.length
     if length is None:
         length = perf.QUICK_LENGTH if args.quick else perf.DEFAULT_LENGTH
-    report = perf.run_perf(length=length, reps=args.reps)
+    report = perf.run_perf(length=length, reps=args.reps,
+                           seed=args.seed if args.seed != 1 else None)
     output = args.output or perf.DEFAULT_OUTPUT
     perf.write_report(report, output)
     print(perf.format_report(report))
@@ -388,7 +549,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    runner = Runner(trace_length=args.length, seed=args.seed)
+    runner = Runner(trace_length=_length(args), seed=args.seed)
     text = generate_report(runner, experiment_ids=args.experiments,
                            processes=args.processes)
     if args.output == "-":
@@ -419,6 +580,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_calibrate(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "shard":
+            return _cmd_shard(args)
         if args.command == "perf":
             return _cmd_perf(args)
         if args.command == "report":

@@ -29,6 +29,8 @@ __all__ = [
     "PrefetcherKind",
     "PrefetchConfig",
     "SimConfig",
+    "config_to_dict",
+    "config_from_dict",
     "is_power_of_two",
 ]
 
@@ -299,7 +301,16 @@ class PrefetchConfig:
 
 @dataclass(frozen=True)
 class SimConfig:
-    """Top-level simulator configuration."""
+    """Top-level simulator configuration.
+
+    Besides :meth:`replace` (shallow, field-by-field), a config can be
+    round-tripped through plain dicts — :meth:`to_dict` /
+    :meth:`from_dict` — and rewritten with nested-aware
+    :meth:`with_overrides`.  That round trip is the canonical
+    serialization: shard workers, sweep checkpoints, and the CLI all
+    exchange configs as dicts rather than pickles, so a config written
+    by one process always validates on the way back in.
+    """
 
     core: CoreConfig = field(default_factory=CoreConfig)
     frontend: FrontEndConfig = field(default_factory=FrontEndConfig)
@@ -341,3 +352,122 @@ class SimConfig:
     def replace(self, **changes: object) -> "SimConfig":
         """Return a copy of this config with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible nested-dict form (see :func:`config_to_dict`)."""
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimConfig":
+        """Reconstruct a validated config from :meth:`to_dict` output.
+
+        Unknown keys (at any nesting level) raise
+        :class:`~repro.errors.ConfigError` naming the offending key and
+        the valid alternatives; every constructed dataclass re-runs its
+        own ``__post_init__`` validation.
+        """
+        return config_from_dict(cls, data)
+
+    def with_overrides(self, **overrides: object) -> "SimConfig":
+        """A copy with nested-aware ``overrides`` applied and validated.
+
+        Overrides may be dotted paths or partial nested dicts — these
+        are equivalent::
+
+            config.with_overrides(**{"prefetch.kind": "none"})
+            config.with_overrides(prefetch={"kind": "none"})
+
+        Unlike :meth:`replace`, nested dicts merge into the existing
+        sub-config instead of replacing it wholesale.  Unknown keys are
+        rejected with :class:`~repro.errors.ConfigError`.
+        """
+        data = self.to_dict()
+        for key, value in overrides.items():
+            _deep_set(data, key, value)
+        return type(self).from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Canonical dict round-trip
+# ----------------------------------------------------------------------
+
+# Nested dataclass-valued fields of each config class.  Everything not
+# listed here is a scalar (int / float / bool / str / None).
+_NESTED_FIELDS: dict[type, dict[str, type]] = {}
+
+
+def _nested_fields(cls: type) -> dict[str, type]:
+    if not _NESTED_FIELDS:
+        _NESTED_FIELDS.update({
+            SimConfig: {"core": CoreConfig, "frontend": FrontEndConfig,
+                        "memory": MemoryConfig, "prefetch": PrefetchConfig},
+            FrontEndConfig: {"predictor": PredictorConfig},
+            MemoryConfig: {"icache": CacheGeometry, "l2": CacheGeometry},
+        })
+    return _NESTED_FIELDS.get(cls, {})
+
+
+def config_to_dict(config: object) -> dict:
+    """Nested plain-dict form of any config dataclass (JSON compatible)."""
+    nested = _nested_fields(type(config))
+    out: dict = {}
+    for field_info in dataclasses.fields(config):  # type: ignore[arg-type]
+        value = getattr(config, field_info.name)
+        out[field_info.name] = (config_to_dict(value)
+                                if field_info.name in nested else value)
+    return out
+
+
+def config_from_dict(cls: type, data: dict, _path: str = "") -> object:
+    """Inverse of :func:`config_to_dict` for ``cls``; validates keys.
+
+    Missing keys fall back to the dataclass defaults (so partial dicts
+    work for overrides); unknown keys raise
+    :class:`~repro.errors.ConfigError` with their full dotted path.
+    """
+    if not isinstance(data, dict):
+        where = _path or cls.__name__
+        raise ConfigError(
+            f"{where}: expected a mapping, got {type(data).__name__}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        prefix = f"{_path}." if _path else ""
+        raise ConfigError(
+            f"unknown config key '{prefix}{unknown[0]}'; valid keys: "
+            f"{', '.join(sorted(known))}")
+    nested = _nested_fields(cls)
+    kwargs: dict = {}
+    for name, value in data.items():
+        if name in nested:
+            child_path = f"{_path}.{name}" if _path else name
+            kwargs[name] = config_from_dict(nested[name], value, child_path)
+        else:
+            kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        where = _path or cls.__name__
+        raise ConfigError(f"{where}: {exc}") from exc
+
+
+def _deep_set(data: dict, key: str, value: object) -> None:
+    """Apply one override into the nested dict form.
+
+    Dotted keys descend; dict values merge key-by-key into the existing
+    sub-dict (validation of the key names happens in
+    :func:`config_from_dict`).
+    """
+    head, _, rest = key.partition(".")
+    if rest:
+        node = data.setdefault(head, {})
+        if not isinstance(node, dict):
+            raise ConfigError(
+                f"cannot descend into scalar config field {head!r} "
+                f"(override {key!r})")
+        _deep_set(node, rest, value)
+    elif isinstance(value, dict) and isinstance(data.get(head), dict):
+        for sub_key, sub_value in value.items():
+            _deep_set(data[head], sub_key, sub_value)
+    else:
+        data[head] = value

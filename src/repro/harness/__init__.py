@@ -14,6 +14,8 @@ from repro.harness.parallel import (
 from repro.harness.persist import ResultStore, SweepManifest, result_key
 from repro.harness.report import generate_report
 from repro.harness.runner import Runner, default_trace_length, geomean
+from repro.harness.shard_runner import run_sharded, run_sharded_workload
+from repro.spec import ExperimentSpec, Point, normalize_points
 from repro.harness.supervise import (
     AttemptRecord,
     RetryPolicy,
@@ -28,6 +30,11 @@ from repro.harness.techniques import (
 
 __all__ = [
     "Runner",
+    "Point",
+    "ExperimentSpec",
+    "normalize_points",
+    "run_sharded",
+    "run_sharded_workload",
     "parallel_sweep",
     "SweepPoint",
     "SweepOutcome",

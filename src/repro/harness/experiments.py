@@ -773,13 +773,17 @@ def experiment_e22(runner: Runner) -> ExperimentTable:
               "bottleneck, covering misses is all that is left")
 
 
-def main_grid_points() -> list[tuple[str, SimConfig]]:
+def main_grid_points() -> "list[Point]":
     """Every (workload, technique) point of the main comparison.
 
     This is the grid E2..E5 and E17 share; prewarming it covers the bulk
-    of a default report's simulation time.
+    of a default report's simulation time.  Each point is labeled
+    ``workload/technique`` for reports.
     """
-    return [(workload, technique_config(technique))
+    from repro.spec import Point
+
+    return [Point(workload, technique_config(technique),
+                  label=f"{workload}/{technique}")
             for workload in ALL_WORKLOADS
             for technique in TECHNIQUE_ORDER]
 

@@ -45,7 +45,7 @@ from repro.harness.supervise import (
 # Bound as a module-level name (rather than called through repro.api)
 # so tests can monkeypatch `repro.harness.parallel.run_simulation`.
 from repro.api import simulate as run_simulation
-from repro.errors import RetryExhaustedError
+from repro.errors import ReproError, RetryExhaustedError
 from repro.sim import SimResult, guard_invariants
 from repro.stats.sweep import merge_counters, summary_line
 from repro.workloads import build_trace
@@ -175,9 +175,18 @@ def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
 
     ``store`` persists each completed point; ``checkpoint`` (a directory
     or explicit ``*.json`` path) additionally maintains a
-    :class:`SweepManifest`.  With ``resume=True``, points already present
-    in the store are loaded instead of re-simulated.
+    :class:`SweepManifest` stamped with this sweep's identity — reusing
+    a checkpoint file across different sweeps raises
+    :class:`~repro.errors.ReproError`.  With ``resume=True``, points
+    already present in the store are loaded instead of re-simulated;
+    resuming without a store is an error (there would be nothing to
+    resume from).
     """
+    if resume and store is None:
+        raise ReproError(
+            "resume=True requires a persistent result store (pass "
+            "persist_dir / store, or set REPRO_RESULT_CACHE); without "
+            "one there are no saved results to resume from")
     if warmup is None:
         warmup = trace_length // 5
     if policy is None:
@@ -194,8 +203,15 @@ def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
 
     manifest = None
     if checkpoint is not None:
-        manifest = SweepManifest(_manifest_path(
-            checkpoint, list(keys.values()), trace_length, seed))
+        key_digest = hashlib.sha256(
+            "|".join(sorted(keys.values())).encode("utf-8")
+        ).hexdigest()[:16]
+        manifest = SweepManifest(
+            _manifest_path(checkpoint, list(keys.values()), trace_length,
+                           seed),
+            meta={"trace_length": trace_length, "seed": seed,
+                  "points": len(unique), "keys_digest": key_digest,
+                  "store": str(store.directory) if store else None})
 
     results: dict[SweepPoint, SimResult] = {}
     failures: list[PointFailure] = []

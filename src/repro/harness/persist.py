@@ -42,10 +42,18 @@ QUARANTINE_DIR = "quarantine"
 
 
 def result_key(workload: str, config: SimConfig, trace_length: int,
-               seed: int) -> str:
-    """Stable identity of one simulation point (store/manifest key)."""
+               seed: int, variant: str = "") -> str:
+    """Stable identity of one simulation point (store/manifest key).
+
+    ``variant`` distinguishes alternative executions of the same point —
+    notably sharded runs (``shards=K:overlap=N:warm=M``), whose merged
+    telemetry approximates but does not equal the monolithic result and
+    must never be served from (or poison) the monolithic cache entry.
+    """
     identity = (f"v{repro.__version__}|{workload}|{trace_length}"
                 f"|{seed}|{config!r}")
+    if variant:
+        identity += f"|{variant}"
     return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:32]
 
 
@@ -87,8 +95,8 @@ class ResultStore:
         self.quarantined = 0
 
     def _key(self, workload: str, config: SimConfig, trace_length: int,
-             seed: int) -> str:
-        return result_key(workload, config, trace_length, seed)
+             seed: int, variant: str = "") -> str:
+        return result_key(workload, config, trace_length, seed, variant)
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.result.json"
@@ -109,9 +117,10 @@ class ResultStore:
         return result_from_json(text)
 
     def load(self, workload: str, config: SimConfig, trace_length: int,
-             seed: int) -> SimResult | None:
+             seed: int, variant: str = "") -> SimResult | None:
         """Return a stored result or None; corrupt files are quarantined."""
-        path = self._path(self._key(workload, config, trace_length, seed))
+        path = self._path(self._key(workload, config, trace_length, seed,
+                                    variant))
         try:
             text = path.read_text(encoding="utf-8")
         except FileNotFoundError:
@@ -127,8 +136,9 @@ class ResultStore:
             return None
 
     def store(self, workload: str, config: SimConfig, trace_length: int,
-              seed: int, result: SimResult) -> None:
-        path = self._path(self._key(workload, config, trace_length, seed))
+              seed: int, result: SimResult, variant: str = "") -> None:
+        path = self._path(self._key(workload, config, trace_length, seed,
+                                    variant))
         payload = result_to_json(result)
         envelope = json.dumps({
             "checksum": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
@@ -162,17 +172,27 @@ class SweepManifest:
     every state change, so a sweep killed mid-run leaves a consistent
     file behind; a corrupt manifest is quarantined and treated as empty
     (resume then falls back on the result store alone).
+
+    ``meta`` records the sweep identity the manifest belongs to (trace
+    length, seed, point count, a digest of the point keys).  Reopening
+    an existing manifest with *different* metadata raises
+    :class:`~repro.errors.ReproError` — previously a checkpoint from
+    one sweep silently steered another (e.g. after changing
+    ``persist_dir`` or the point set between resume runs), skipping
+    points that were never actually computed for the current spec.
     """
 
-    _VERSION = 1
+    _VERSION = 2
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path,
+                 meta: dict | None = None):
         self.path = Path(path)
         self.done: set[str] = set()
         self.failed: dict[str, str] = {}
-        self._load()
+        self.meta: dict = dict(meta) if meta else {}
+        self._load(expected_meta=dict(meta) if meta else None)
 
-    def _load(self) -> None:
+    def _load(self, expected_meta: dict | None = None) -> None:
         try:
             text = self.path.read_text(encoding="utf-8")
         except FileNotFoundError:
@@ -183,19 +203,41 @@ class SweepManifest:
             data = json.loads(text)
             if not isinstance(data, dict) or "done" not in data:
                 raise ValueError("missing keys")
-            self.done = set(data["done"])
-            self.failed = dict(data.get("failed", {}))
+            done = set(data["done"])
+            failed = dict(data.get("failed", {}))
+            stored_meta = dict(data.get("meta", {}))
         except (ValueError, TypeError):
             try:
                 _quarantine(self.path)
             except OSError:
                 pass
-            self.done = set()
-            self.failed = {}
+            return
+        if expected_meta is not None and stored_meta:
+            mismatched = sorted(
+                field for field in expected_meta
+                if field in stored_meta
+                and stored_meta[field] != expected_meta[field])
+            if mismatched:
+                from repro.errors import ReproError
+
+                detail = ", ".join(
+                    f"{field}: checkpoint has "
+                    f"{stored_meta[field]!r}, current sweep has "
+                    f"{expected_meta[field]!r}"
+                    for field in mismatched)
+                raise ReproError(
+                    f"checkpoint {self.path} belongs to a different "
+                    f"sweep ({detail}); point a fresh checkpoint path "
+                    f"at this sweep or delete the stale manifest")
+        self.done = done
+        self.failed = failed
+        if stored_meta and not self.meta:
+            self.meta = stored_meta
 
     def save(self) -> None:
         payload = json.dumps({
             "version": self._VERSION,
+            "meta": self.meta,
             "done": sorted(self.done),
             "failed": self.failed,
         }, indent=1, sort_keys=True)

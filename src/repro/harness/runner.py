@@ -5,6 +5,12 @@ runs; this runner keys every run by its exact inputs so an experiment
 that re-requests an already-simulated point pays nothing.  Traces are
 cached on disk (see :class:`~repro.trace.cache.TraceCache`), simulation
 results in memory.
+
+Long traces can additionally be *sharded*: :meth:`Runner.run` splits
+the trace into windows, simulates them on the supervised pool, and
+merges the telemetry (see :mod:`repro.sim.sharding`).  Sharded results
+are cached under a distinct key variant so they never masquerade as
+monolithic results.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from repro import env
 # so tests can monkeypatch `repro.harness.runner.run_simulation`.
 from repro.api import simulate as run_simulation
 from repro.config import SimConfig
+from repro.errors import RetryExhaustedError
+from repro.spec import Point, normalize_points
 from repro.sim import SimResult
 from repro.stats.sweep import merge_counters
 from repro.trace import Trace
@@ -25,6 +33,11 @@ __all__ = ["Runner", "default_trace_length", "geomean"]
 
 _QUICK_LENGTH = 60_000
 _FULL_LENGTH = 400_000
+
+#: Below this trace length transparent sharding is skipped: the windows
+#: would be so short that the warm-up transient dominates the measured
+#: region (see the calibration in ``docs/performance.md``).
+_SHARD_THRESHOLD = 150_000
 
 
 def default_trace_length() -> int:
@@ -52,18 +65,44 @@ def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def shard_variant(shards: int, overlap: int | None,
+                  warm: str = "functional") -> str:
+    """Cache-key variant for a sharded execution of a point."""
+    from repro.sim.sharding import DEFAULT_SHARD_OVERLAP
+
+    if overlap is None:
+        overlap = DEFAULT_SHARD_OVERLAP
+    return f"shards={shards}:overlap={overlap}:warm={warm}"
+
+
 class Runner:
-    """Runs (workload, config) points with memoization."""
+    """Runs (workload, config) points with memoization.
+
+    ``shards``/``shard_overlap`` set the transparent sharding policy:
+    when ``shards > 1`` and the trace is at least ``shard_threshold``
+    instructions long, :meth:`run` simulates each point as that many
+    merged windows on the process pool instead of one monolithic run.
+    ``processes`` is the runner's worker budget, shared between
+    point-level sweep parallelism and within-point shard parallelism.
+    """
 
     def __init__(self, trace_length: int | None = None, seed: int = 1,
                  warmup_fraction: float = 0.2,
                  persist_dir: str | None = None,
-                 store: "ResultStore | None" = None):
+                 store: "ResultStore | None" = None,
+                 shards: int | None = None,
+                 shard_overlap: int | None = None,
+                 shard_threshold: int = _SHARD_THRESHOLD,
+                 processes: int | None = None):
         self.trace_length = trace_length or default_trace_length()
         self.seed = seed
         self.warmup_fraction = warmup_fraction
+        self.shards = shards
+        self.shard_overlap = shard_overlap
+        self.shard_threshold = shard_threshold
+        self.processes = processes
         self._traces: dict[str, Trace] = {}
-        self._results: dict[tuple[str, SimConfig], SimResult] = {}
+        self._results: dict[tuple, SimResult] = {}
         self.sweep_counters: dict[str, int] = {}
         if store is not None:
             self._store = store
@@ -82,11 +121,42 @@ class Runner:
             self._traces[workload] = trace
         return trace
 
-    def run(self, workload: str, config: SimConfig) -> SimResult:
-        """Simulate ``workload`` under ``config`` (memoized)."""
+    def _warmed(self, config: SimConfig) -> SimConfig:
         if config.warmup_instructions == 0 and self.warmup_fraction > 0:
             warmup = int(self.trace_length * self.warmup_fraction)
-            config = config.replace(warmup_instructions=warmup)
+            return config.replace(warmup_instructions=warmup)
+        return config
+
+    def _effective_shards(self, shards: int | None) -> int:
+        """How many shards a point actually runs with.
+
+        An explicit per-call/per-point value wins; ``None`` falls back
+        to the runner's policy, which only engages at or above the
+        sharding threshold (short traces shard inaccurately — the
+        warm-up transient would dominate each window).
+        """
+        if shards is None:
+            if self.shards is None \
+                    or self.trace_length < self.shard_threshold:
+                return 1
+            shards = self.shards
+        return max(1, min(shards, self.trace_length))
+
+    def run(self, workload: str, config: SimConfig, *,
+            shards: int | None = None,
+            processes: int | None = None) -> SimResult:
+        """Simulate ``workload`` under ``config`` (memoized).
+
+        ``shards`` overrides the runner's sharding policy for this call
+        (``1`` forces a monolithic run); sharded runs fan their windows
+        out over ``processes`` workers (default: the runner's budget,
+        else one worker per shard) and cache under a shard-specific key.
+        """
+        config = self._warmed(config)
+        nshards = self._effective_shards(shards)
+        if nshards > 1:
+            return self._run_sharded(workload, config, nshards,
+                                     processes=processes)
         key = (workload, config)
         result = self._results.get(key)
         if result is None and self._store is not None:
@@ -103,6 +173,31 @@ class Runner:
                                   self.seed, result)
         return result
 
+    def _run_sharded(self, workload: str, config: SimConfig,
+                     nshards: int, *,
+                     processes: int | None = None) -> SimResult:
+        """Sharded execution of one point, memoized under its variant."""
+        from repro.harness.shard_runner import run_sharded_workload
+
+        variant = shard_variant(nshards, self.shard_overlap)
+        key = (workload, config, variant)
+        result = self._results.get(key)
+        if result is None and self._store is not None:
+            result = self._store.load(workload, config, self.trace_length,
+                                      self.seed, variant=variant)
+            if result is not None:
+                self._results[key] = result
+        if result is None:
+            result = run_sharded_workload(
+                workload, self.trace_length, self.seed, config,
+                shards=nshards, overlap=self.shard_overlap,
+                processes=processes or self.processes)
+            self._results[key] = result
+            if self._store is not None:
+                self._store.store(workload, config, self.trace_length,
+                                  self.seed, result, variant=variant)
+        return result
+
     def with_seed(self, seed: int) -> "Runner":
         """A runner over the same lengths/persistence but another seed.
 
@@ -113,32 +208,78 @@ class Runner:
         """
         return Runner(trace_length=self.trace_length, seed=seed,
                       warmup_fraction=self.warmup_fraction,
-                      store=self._store)
+                      store=self._store, shards=self.shards,
+                      shard_overlap=self.shard_overlap,
+                      shard_threshold=self.shard_threshold,
+                      processes=self.processes)
 
-    def sweep(self, points: "list[tuple[str, SimConfig]]",
+    def sweep(self, points: "list[Point | tuple[str, SimConfig]]",
               processes: int | None = None, *,
               max_retries: int = 2, point_timeout: float | None = None,
               checkpoint: str | None = None,
               resume: bool = False) -> "SweepOutcome":
         """Run many points fault-tolerantly and memoize the survivors.
 
-        Fans out through :func:`~repro.harness.parallel.parallel_sweep`
-        with this runner's trace length, seed, warm-up, and persistent
-        store; completed results join the in-memory memo so subsequent
-        :meth:`run` calls are free.  Execution counters accumulate on
+        ``points`` may be typed :class:`~repro.harness.spec.Point`
+        objects, an :class:`~repro.harness.spec.ExperimentSpec`, or
+        legacy ``(workload, config)`` tuples (deprecated; warns once).
+        Unsharded points fan out through
+        :func:`~repro.harness.parallel.parallel_sweep`; points whose
+        shard count resolves above one run one at a time with the whole
+        worker budget parallelizing *within* the point.  Completed
+        results join the in-memory memo so subsequent :meth:`run` calls
+        are free; execution counters accumulate on
         :attr:`sweep_counters` (reported in the markdown report footer).
         """
-        from repro.harness.parallel import _effective_config, parallel_sweep
+        from repro.harness.parallel import (
+            PointFailure,
+            _effective_config,
+            parallel_sweep,
+        )
+        from repro.harness.persist import result_key
 
+        normalized = normalize_points(points)
+        processes = processes if processes is not None else self.processes
         warmup = int(self.trace_length * self.warmup_fraction)
+
+        plain = [p for p in normalized
+                 if self._effective_shards(p.shards) <= 1]
+        sharded = [p for p in normalized
+                   if self._effective_shards(p.shards) > 1]
+
         outcome = parallel_sweep(
-            points, trace_length=self.trace_length, seed=self.seed,
-            warmup=warmup, processes=processes, max_retries=max_retries,
-            point_timeout=point_timeout, store=self._store,
-            checkpoint=checkpoint, resume=resume)
+            [p.key for p in plain], trace_length=self.trace_length,
+            seed=self.seed, warmup=warmup, processes=processes,
+            max_retries=max_retries, point_timeout=point_timeout,
+            store=self._store, checkpoint=checkpoint, resume=resume)
         for (workload, config), result in outcome.items():
             key = (workload, _effective_config(config, warmup))
             self._results.setdefault(key, result)
+
+        counters = dict(outcome.counters)
+        for point in sharded:
+            nshards = self._effective_shards(point.shards)
+            try:
+                result = self.run(point.workload, point.config,
+                                  shards=nshards, processes=processes)
+            except RetryExhaustedError as exc:
+                effective = self._warmed(point.config)
+                variant = shard_variant(nshards, self.shard_overlap)
+                outcome.failures.append(PointFailure(
+                    point.workload, point.config,
+                    result_key(point.workload, effective,
+                               self.trace_length, self.seed,
+                               variant=variant),
+                    attempts=list(exc.attempts)))
+                counters["failed"] = counters.get("failed", 0) + 1
+            else:
+                outcome.results[point.key] = result
+                counters["completed"] = counters.get("completed", 0) + 1
+                counters["sharded_points"] = \
+                    counters.get("sharded_points", 0) + 1
+            counters["points"] = counters.get("points", 0) + 1
+        outcome.counters = counters
+
         self.sweep_counters = merge_counters(self.sweep_counters,
                                              outcome.counters)
         return outcome

@@ -83,9 +83,10 @@ PERF_MATRIX: tuple[PerfPoint, ...] = (
 )
 
 
-def _build_trace(length: int) -> Trace:
+def _build_trace(length: int, seed: int | None = None) -> Trace:
     program = generate_program(_SHAPE, seed=_PROGRAM_SEED)
-    return Trace.from_program(program, length, seed=_TRACE_SEED)
+    return Trace.from_program(program, length,
+                              seed=_TRACE_SEED if seed is None else seed)
 
 
 def _time_run(trace: Trace, config: SimConfig, fast: bool,
@@ -102,9 +103,14 @@ def _time_run(trace: Trace, config: SimConfig, fast: bool,
 
 
 def run_perf(length: int = DEFAULT_LENGTH, reps: int = 3,
-             points: Iterable[PerfPoint] = PERF_MATRIX) -> dict:
-    """Run the benchmark matrix; returns the report dict."""
-    trace = _build_trace(length)
+             points: Iterable[PerfPoint] = PERF_MATRIX,
+             seed: int | None = None) -> dict:
+    """Run the benchmark matrix; returns the report dict.
+
+    ``seed`` overrides the canonical benchmark trace seed — results are
+    only comparable to the committed baseline at the default.
+    """
+    trace = _build_trace(length, seed)
     report = {"version": 1, "length": length, "reps": reps, "points": {}}
     for point in points:
         naive_s, naive_result = _time_run(trace, point.config, False, reps)

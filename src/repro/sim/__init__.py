@@ -7,6 +7,14 @@ from repro.sim.invariants import (
     guard_invariants,
 )
 from repro.sim.results import SimResult
+from repro.sim.sharding import (
+    DEFAULT_SHARD_OVERLAP,
+    ShardPlan,
+    ShardSpec,
+    merge_shard_snapshots,
+    plan_shards,
+    sharded_result,
+)
 from repro.sim.serialize import (
     result_from_dict,
     result_from_json,
@@ -18,6 +26,12 @@ from repro.sim.simulator import Simulator, make_prefetcher, run_simulation
 __all__ = [
     "Simulator",
     "SimResult",
+    "DEFAULT_SHARD_OVERLAP",
+    "ShardPlan",
+    "ShardSpec",
+    "plan_shards",
+    "merge_shard_snapshots",
+    "sharded_result",
     "make_prefetcher",
     "run_simulation",
     "check_invariants",

@@ -1,0 +1,322 @@
+"""Sharded single-trace simulation: windowing, warm-up overlap, merge.
+
+A long trace is split into ``K`` contiguous measurement windows.  Each
+shard simulates a *warm-up overlap* prefix of the preceding window
+before its own window begins — the overlap is simulated cycle-accurately
+but excluded from measurement, reusing the simulator's existing warm-up
+reset anchor (``SimConfig.warmup_instructions`` resets all statistics
+once that many instructions have retired, leaving caches, predictors,
+and the FTB warm).  This is the standard sampled-simulation recipe: the
+overlap re-warms microarchitectural state that the shard did not watch
+being built, and the residual IPC/MPKI error shrinks as the overlap
+grows (see the calibration table in ``docs/performance.md``).
+
+Two warm-up modes are supported:
+
+- ``functional`` (the default) — before its timed overlap, each shard
+  *functionally* fast-forwards over its **entire** preceding prefix
+  (``SimConfig.fast_forward_instructions``): caches, the FTB, and the
+  direction predictor replay the whole history at trace-walk speed
+  (roughly an order of magnitude cheaper than cycle simulation), and
+  the timed overlap then settles pipeline/queue state.  Long-lived
+  state — the L2's resident footprint, predictor and FTB training — is
+  reproduced from the retired-instruction history, so the residual
+  error is dominated by what *cannot* be replayed functionally
+  (wrong-path cache/FTB contents, in-flight prefetches) and amortizes
+  with the measurement window length.
+- ``overlap`` — timed overlap only, each shard simulates nothing before
+  ``sim_start``.  Cheapest per shard and embarrassingly parallel in the
+  strict sense, but long-lived state starts cold, so the IPC error is
+  dominated by L2/predictor cold misses and decays only slowly with the
+  overlap length.  Kept for measurement studies and as the degenerate
+  mode for state that cannot be functionally warmed.
+
+Planning is pure bookkeeping (:func:`plan_shards` /
+:class:`ShardPlan`); execution can happen inline
+(:func:`run_shards_inline`) or on the supervised process pool
+(:mod:`repro.harness.shard_runner`).  Either way the per-shard
+:class:`~repro.stats.telemetry.TelemetrySnapshot`\\ s reduce through
+:func:`~repro.stats.sweep.merge_snapshots` into one snapshot labeled
+with shard provenance (:func:`merge_shard_snapshots`), from which the
+merged :class:`~repro.sim.results.SimResult` is built.
+
+Guarantees:
+
+- ``K=1`` degenerates to the monolithic run: the single shard covers
+  the whole trace with the config's own warm-up, so the merged flat
+  counter namespace is **bit-identical** to an unsharded simulation.
+- For ``K>1`` the merged counters are the exact sums of the per-shard
+  measured regions, which together tile the monolithic measured region
+  instruction-for-instruction; only the microarchitectural state at
+  each window entry is approximate (bounded by the overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.sim.results import SimResult
+from repro.stats.sweep import merge_snapshots
+from repro.stats.telemetry import TelemetryNode, TelemetrySnapshot
+from repro.trace import Trace
+
+__all__ = [
+    "DEFAULT_SHARD_OVERLAP",
+    "WARMUP_MODES",
+    "ShardSpec",
+    "ShardPlan",
+    "plan_shards",
+    "shard_config",
+    "run_shards_inline",
+    "merge_shard_snapshots",
+    "sharded_result",
+]
+
+#: Default warm-up overlap (instructions) prepended to every shard after
+#: the first.  Chosen from the overlap-sensitivity calibration committed
+#: in ``docs/performance.md`` (regenerate with ``repro shard
+#: --calibrate``): with functional prefix warming on a 200k-instruction
+#: ``gcc_like`` trace, 2000 instructions of timed overlap keeps the
+#: merged IPC within ~1.5% of the monolithic run at K=2, ~2% at K=4,
+#: and ~4% at K=8 (L1-I MPKI within ~0.2), while adding under 5% extra
+#: cycle-simulated instructions at K=4.  The error amortizes with the
+#: per-shard window length — longer traces shard more accurately —
+#: and raising the overlap buys accuracy only slowly; the window
+#: length, not the overlap, is the lever that matters.
+DEFAULT_SHARD_OVERLAP = 2000
+
+#: Warm-up modes (see the module docstring).
+WARMUP_MODES = ("functional", "overlap")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of the trace.
+
+    The shard *simulates* records ``[sim_start, stop)`` and *measures*
+    records ``[start, stop)``; the ``start - sim_start`` prefix is the
+    warm-up overlap (plus, for the first shard, the sweep-level warm-up
+    region), excluded from statistics via the warm-up reset anchor.
+    """
+
+    index: int
+    sim_start: int   # first simulated record
+    start: int       # first measured record
+    stop: int        # one past the last record
+
+    @property
+    def warmup(self) -> int:
+        """Instructions simulated before measurement starts."""
+        return self.start - self.sim_start
+
+    @property
+    def measured(self) -> int:
+        """Instructions inside the measurement window."""
+        return self.stop - self.start
+
+    @property
+    def simulated(self) -> int:
+        """Total instructions this shard simulates (overlap included)."""
+        return self.stop - self.sim_start
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full decomposition of one trace into shards."""
+
+    total: int
+    overlap: int
+    shards: tuple[ShardSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    @property
+    def overhead(self) -> float:
+        """Extra simulated instructions as a fraction of the total."""
+        extra = sum(s.simulated for s in self.shards) - self.total
+        return extra / self.total if self.total else 0.0
+
+
+def plan_shards(total: int, shards: int, overlap: int | None = None,
+                warmup: int = 0) -> ShardPlan:
+    """Split ``total`` instructions into ``shards`` contiguous windows.
+
+    ``overlap`` is the warm-up prefix (in instructions) each shard after
+    the first simulates before its window (default
+    :data:`DEFAULT_SHARD_OVERLAP`, clamped to the records actually
+    preceding the window).  ``warmup`` is the run-level warm-up region;
+    it lands entirely inside the first shard's window, exactly as in the
+    monolithic run.
+    """
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    if overlap is None:
+        overlap = DEFAULT_SHARD_OVERLAP
+    if overlap < 0:
+        raise ConfigError(f"shard overlap must be >= 0, got {overlap}")
+    if total < 1:
+        raise ConfigError("cannot shard an empty trace")
+    if shards > total:
+        raise ConfigError(
+            f"cannot split {total} instructions into {shards} shards "
+            f"(each shard needs at least one measured instruction)")
+    if warmup < 0:
+        raise ConfigError(f"warmup must be >= 0, got {warmup}")
+    base, extra = divmod(total, shards)
+    specs = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        sim_start = 0 if index == 0 else max(0, start - overlap)
+        specs.append(ShardSpec(index=index, sim_start=sim_start,
+                               start=start, stop=stop))
+        start = stop
+    first = specs[0]
+    if warmup >= first.stop:
+        raise ConfigError(
+            f"warmup ({warmup} instructions) must fit inside the first "
+            f"shard's window ({first.stop} instructions); use fewer "
+            f"shards or a shorter warm-up")
+    return ShardPlan(total=total, overlap=overlap, shards=tuple(specs))
+
+
+def _check_mode(warm: str) -> None:
+    if warm not in WARMUP_MODES:
+        raise ConfigError(
+            f"unknown shard warm-up mode {warm!r}; "
+            f"one of {', '.join(WARMUP_MODES)}")
+
+
+def shard_config(config: SimConfig, spec: ShardSpec,
+                 warm: str = "functional") -> SimConfig:
+    """The per-shard configuration derived from the run's ``config``.
+
+    The shard's warm-up anchor covers its timed overlap prefix; in
+    ``functional`` mode the shard additionally fast-forwards over its
+    full preceding prefix (``[0, sim_start)``).  The first shard keeps
+    the run-level warm-up instead (its window starts at record 0,
+    exactly like the monolithic run).  ``max_instructions`` is cleared —
+    the callers apply it by slicing the trace before planning, so shards
+    must not re-truncate.
+    """
+    _check_mode(warm)
+    if config.fast_forward_instructions:
+        raise ConfigError(
+            "sharding does not compose with fast_forward_instructions; "
+            "functional shard warm-up plays the same role per shard")
+    warmup = config.warmup_instructions if spec.index == 0 else spec.warmup
+    fast_forward = spec.sim_start if warm == "functional" else 0
+    if warmup == config.warmup_instructions and fast_forward == 0 \
+            and config.max_instructions is None:
+        return config
+    return config.replace(warmup_instructions=warmup,
+                          fast_forward_instructions=fast_forward,
+                          max_instructions=None)
+
+
+def _shard_trace(trace: Trace, spec: ShardSpec, warm: str) -> Trace:
+    """The records shard ``spec`` consumes under warm-up mode ``warm``.
+
+    ``functional`` shards keep the whole prefix (the simulator's
+    fast-forward eats ``[0, sim_start)``); ``overlap`` shards start at
+    ``sim_start``.
+    """
+    start = 0 if warm == "functional" else spec.sim_start
+    if start == 0 and spec.stop == len(trace):
+        return trace
+    return trace.slice(start, spec.stop)
+
+
+def run_one_shard(trace: Trace, config: SimConfig, spec: ShardSpec,
+                  name: str | None = None,
+                  warm: str = "functional") -> TelemetrySnapshot:
+    """Simulate one shard of ``trace`` and return its telemetry.
+
+    ``trace`` is the *full* trace (indices in ``spec`` are absolute);
+    the shard's slice is cut here.  Pool workers call this too, with a
+    sub-trace whose spec was rebased to match.
+    """
+    from repro.sim.simulator import Simulator
+
+    sub = _shard_trace(trace, spec, warm)
+    result = Simulator(sub, shard_config(config, spec, warm),
+                       name=name or f"{trace.name}#shard{spec.index}").run()
+    assert result.telemetry is not None
+    return result.telemetry
+
+
+def run_shards_inline(trace: Trace, config: SimConfig, plan: ShardPlan,
+                      warm: str = "functional",
+                      ) -> list[TelemetrySnapshot]:
+    """Simulate every shard sequentially in this process."""
+    return [run_one_shard(trace, config, spec, warm=warm)
+            for spec in plan.shards]
+
+
+def _restore_derived(node: TelemetryNode) -> None:
+    """Recompute recomputable derived ratios after a merge.
+
+    :func:`~repro.stats.telemetry.merge_nodes` drops derived ratios (a
+    ratio of sums is not a sum of ratios).  The ratios the result view
+    consumes are recomputable from merged counters, so restore them:
+    predictor ``accuracy`` is ``correct / predictions``.
+    """
+    for _, sub in node.walk():
+        predictions = sub.counters.get("predictions")
+        if predictions:
+            sub.derived["accuracy"] = \
+                sub.counters.get("correct", 0) / predictions
+
+
+def merge_shard_snapshots(snapshots: list[TelemetrySnapshot],
+                          plan: ShardPlan, *,
+                          name: str, first_warmup: int = 0,
+                          warm: str = "functional",
+                          ) -> TelemetrySnapshot:
+    """Reduce per-shard snapshots into one, with shard provenance.
+
+    Counters, histograms, and interval series merge through
+    :func:`~repro.stats.sweep.merge_snapshots`; the result's metadata
+    records the run ``name``, the shard count and overlap, and each
+    shard's instruction window and measured cycle range
+    (``meta["sharding"]``).
+    """
+    if len(snapshots) != len(plan.shards):
+        raise ValueError(
+            f"plan has {len(plan.shards)} shards but "
+            f"{len(snapshots)} snapshots were provided")
+    merged = merge_snapshots(snapshots)
+    _restore_derived(merged.root)
+    windows = []
+    cycle_base = 0
+    for spec, snap in zip(plan.shards, snapshots):
+        cycles = int(snap.meta.get("cycles", 0))
+        windows.append({
+            "shard": spec.index,
+            "start": spec.start,
+            "stop": spec.stop,
+            "warmup": spec.warmup if spec.index else first_warmup,
+            "instructions": int(snap.meta.get("instructions", 0)),
+            "cycle_range": [cycle_base, cycle_base + cycles],
+        })
+        cycle_base += cycles
+    merged.meta["name"] = name
+    merged.meta["sharding"] = {
+        "shards": len(plan.shards),
+        "overlap": plan.overlap,
+        "warm": warm,
+        "windows": windows,
+    }
+    return merged
+
+
+def sharded_result(snapshots: list[TelemetrySnapshot], plan: ShardPlan,
+                   *, name: str, first_warmup: int = 0,
+                   warm: str = "functional") -> SimResult:
+    """The merged :class:`SimResult` of one sharded run."""
+    return SimResult.from_snapshot(
+        merge_shard_snapshots(snapshots, plan, name=name,
+                              first_warmup=first_warmup, warm=warm))

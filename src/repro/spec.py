@@ -1,0 +1,160 @@
+"""Typed experiment point specifications.
+
+Sweeps historically took bare ``(workload, SimConfig)`` tuples, which
+left no room for per-point metadata — a display label, or a per-point
+shard count — without growing parallel argument lists.  :class:`Point`
+is the typed replacement; :class:`ExperimentSpec` is an immutable,
+iterable collection of points with a name.
+
+Bare tuples remain accepted everywhere points are (``Runner.sweep``,
+``repro.api.sweep``): :func:`normalize_points` converts them and warns
+once per process with a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+
+__all__ = ["Point", "ExperimentSpec", "normalize_points"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """One sweep point: a workload simulated under a configuration.
+
+    ``label`` names the point in reports (defaults to the workload
+    name); ``shards`` asks the runner to split this point's trace into
+    that many windows and merge the telemetry (see
+    :mod:`repro.sim.sharding`) — ``None`` inherits the runner's
+    sharding policy, ``1`` forces a monolithic run.
+    """
+
+    workload: str
+    config: SimConfig
+    label: str | None = None
+    shards: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workload, str) or not self.workload:
+            raise ConfigError(
+                f"Point.workload must be a non-empty string, "
+                f"got {self.workload!r}")
+        if not isinstance(self.config, SimConfig):
+            raise ConfigError(
+                f"Point.config must be a SimConfig, "
+                f"got {type(self.config).__name__}")
+        if self.shards is not None and self.shards < 1:
+            raise ConfigError(
+                f"Point.shards must be >= 1 or None, got {self.shards}")
+
+    @property
+    def name(self) -> str:
+        """The point's display name (``label`` or the workload)."""
+        return self.label if self.label is not None else self.workload
+
+    @property
+    def key(self) -> tuple[str, SimConfig]:
+        """The ``(workload, config)`` identity sweeps key results by."""
+        return (self.workload, self.config)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """An immutable, named collection of sweep points.
+
+    Iterates and indexes like a sequence of :class:`Point`.  Build one
+    from any mix of points and legacy tuples with :meth:`of`.
+    """
+
+    points: tuple[Point, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.points, tuple):
+            object.__setattr__(self, "points", tuple(self.points))
+        for point in self.points:
+            if not isinstance(point, Point):
+                raise ConfigError(
+                    f"ExperimentSpec.points must contain Point objects; "
+                    f"got {type(point).__name__} (use ExperimentSpec.of "
+                    f"to normalize legacy tuples)")
+
+    @classmethod
+    def of(cls, points: "Iterable[Point | tuple]",
+           name: str = "") -> "ExperimentSpec":
+        """Build a spec, normalizing legacy tuples (with a warning)."""
+        return cls(points=tuple(normalize_points(points)), name=name)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index: int) -> Point:
+        return self.points[index]
+
+    @property
+    def workloads(self) -> tuple[str, ...]:
+        """Unique workloads, in first-appearance order."""
+        return tuple(dict.fromkeys(p.workload for p in self.points))
+
+    @property
+    def configs(self) -> tuple[SimConfig, ...]:
+        """Unique configurations, in first-appearance order."""
+        return tuple(dict.fromkeys(p.config for p in self.points))
+
+
+_warned_legacy_tuples = False
+
+
+def _warn_legacy_tuples() -> None:
+    global _warned_legacy_tuples
+    if _warned_legacy_tuples:
+        return
+    _warned_legacy_tuples = True
+    warnings.warn(
+        "passing sweep points as (workload, config) tuples is deprecated; "
+        "use repro.Point(workload, config) instead",
+        DeprecationWarning, stacklevel=4)
+
+
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the once-per-process tuple deprecation (for tests)."""
+    global _warned_legacy_tuples
+    _warned_legacy_tuples = False
+
+
+def normalize_points(points: "Iterable[Point | tuple] | ExperimentSpec",
+                     ) -> list[Point]:
+    """Coerce a mixed point collection to a list of :class:`Point`.
+
+    Accepts :class:`Point` instances, an :class:`ExperimentSpec`, and
+    legacy ``(workload, config)`` tuples; the first tuple seen in this
+    process emits a :class:`DeprecationWarning`.  Anything else raises
+    :class:`~repro.errors.ConfigError`.
+    """
+    if isinstance(points, ExperimentSpec):
+        return list(points.points)
+    normalized: list[Point] = []
+    saw_tuple = False
+    for entry in points:
+        if isinstance(entry, Point):
+            normalized.append(entry)
+        elif isinstance(entry, Sequence) and not isinstance(entry, str) \
+                and len(entry) == 2:
+            workload, config = entry
+            saw_tuple = True
+            normalized.append(Point(workload=workload, config=config))
+        else:
+            raise ConfigError(
+                f"sweep points must be Point objects or (workload, "
+                f"config) tuples; got {entry!r}")
+    if saw_tuple:
+        _warn_legacy_tuples()
+    return normalized

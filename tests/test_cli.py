@@ -163,3 +163,76 @@ class TestStatsCommand:
     def test_json_and_csv_mutually_exclusive(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(self.ARGS + ["--json", "--csv"])
+
+    def test_sharded_stats(self, capsys):
+        code = main(["stats", "-w", "compress_like", "--length", "6000",
+                     "--shards", "2", "--shard-overlap", "500",
+                     "--processes", "1"])
+        assert code == 0
+        assert "sim/mem/l1i" in capsys.readouterr().out
+
+
+class TestShardCommand:
+    BASE = ["shard", "-w", "compress_like", "--length", "6000",
+            "--shards", "2", "--shard-overlap", "500",
+            "--processes", "1"]
+
+    def test_table_output(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "shard" in out  # provenance table
+
+    def test_json_output(self, capsys):
+        assert main(self.BASE + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sharding"]["shards"] == 2
+        assert payload["sharding"]["overlap"] == 500
+        assert len(payload["sharding"]["windows"]) == 2
+        assert payload["ipc"] > 0
+
+    def test_compare_reports_deltas(self, capsys):
+        assert main(self.BASE + ["--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "monolithic" in out
+
+    def test_calibrate_prints_accuracy_table(self, capsys):
+        code = main(["shard", "-w", "compress_like", "--length", "6000",
+                     "--processes", "1", "--calibrate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ipc err" in out
+
+    def test_warm_mode_validated_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(self.BASE + ["--warm", "cold"])
+
+
+class TestSharedFlags:
+    """The trace/pool parent parsers behave uniformly across commands."""
+
+    @pytest.mark.parametrize("command", [
+        ["sweep"], ["stats", "-w", "compress_like"],
+        ["shard", "-w", "compress_like"], ["perf"],
+    ])
+    def test_trace_and_pool_flags_accepted(self, command):
+        args = build_parser().parse_args(
+            command + ["--length", "5000", "--seed", "3",
+                       "--processes", "2", "--max-retries", "1",
+                       "--point-timeout", "30"])
+        assert args.length == 5000
+        assert args.seed == 3
+        assert args.processes == 2
+        assert args.max_retries == 1
+        assert args.point_timeout == 30.0
+
+    def test_trace_length_alias(self):
+        args = build_parser().parse_args(
+            ["stats", "-w", "compress_like", "--trace-length", "4000"])
+        assert args.length == 4000
+
+    def test_length_defaults_to_none_for_per_command_fallback(self):
+        # perf distinguishes "no --length" (quick/default semantics)
+        # from an explicit value, so the shared flag must not eagerly
+        # substitute the generic default.
+        assert build_parser().parse_args(["perf"]).length is None

@@ -194,3 +194,104 @@ class TestFrontEndConfig:
     def test_max_fetch_block_positive(self):
         with pytest.raises(ConfigError):
             FrontEndConfig(max_fetch_block=0)
+
+
+def _exotic_config() -> SimConfig:
+    """A config with every top-level field off its default."""
+    return SimConfig(
+        core=CoreConfig(fetch_width=4, issue_width=2),
+        frontend=FrontEndConfig(
+            ftq_depth=16,
+            predictor=PredictorConfig(bimodal_entries=512)),
+        memory=MemoryConfig(
+            icache=CacheGeometry(size_bytes=8 * 1024, assoc=2,
+                                 block_bytes=32),
+            memory_latency=200),
+        prefetch=PrefetchConfig(kind="nlp", nlp_degree=2),
+        max_instructions=5_000,
+        warmup_instructions=100,
+        fast_forward_instructions=50,
+        max_cycles=1_000_000,
+        fast_loop=False,
+        telemetry_window=250)
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize("config", [
+        SimConfig(),
+        _exotic_config(),
+    ], ids=["defaults", "exotic"])
+    def test_to_dict_from_dict_round_trips(self, config):
+        assert SimConfig.from_dict(config.to_dict()) == config
+
+    def test_every_field_survives(self):
+        # Field-by-field, so a future field added without to_dict
+        # support fails with its name rather than a bare inequality.
+        config = _exotic_config()
+        rebuilt = SimConfig.from_dict(config.to_dict())
+        for field in dataclasses.fields(SimConfig):
+            assert getattr(rebuilt, field.name) == \
+                getattr(config, field.name), field.name
+
+    def test_dict_form_is_json_compatible(self):
+        import json
+
+        data = _exotic_config().to_dict()
+        assert json.loads(json.dumps(data)) == data
+
+    def test_partial_dict_fills_defaults(self):
+        config = SimConfig.from_dict({"warmup_instructions": 42})
+        assert config.warmup_instructions == 42
+        assert config.core == CoreConfig()
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigError, match="warmup_instrs"):
+            SimConfig.from_dict({"warmup_instrs": 42})
+
+    def test_unknown_nested_key_names_full_path(self):
+        with pytest.raises(ConfigError, match="memory.icache.sets"):
+            SimConfig.from_dict(
+                {"memory": {"icache": {"sets": 4}}})
+
+    def test_from_dict_revalidates(self):
+        data = SimConfig().to_dict()
+        data["warmup_instructions"] = -1
+        with pytest.raises(ConfigError):
+            SimConfig.from_dict(data)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigError, match="mapping"):
+            SimConfig.from_dict({"prefetch": "fdip"})
+
+
+class TestWithOverrides:
+    def test_dotted_key(self):
+        config = SimConfig().with_overrides(**{"prefetch.kind": "none"})
+        assert config.prefetch.kind == "none"
+
+    def test_nested_dict_merges(self):
+        base = SimConfig(
+            prefetch=PrefetchConfig(kind="fdip", filter_mode="enqueue"))
+        changed = base.with_overrides(prefetch={"kind": "none"})
+        assert changed.prefetch.kind == "none"
+        # Merge, not wholesale replacement: the sibling field survives.
+        assert changed.prefetch.filter_mode == "enqueue"
+
+    def test_deep_dotted_key(self):
+        config = SimConfig().with_overrides(
+            **{"frontend.predictor.bimodal_entries": 512})
+        assert config.frontend.predictor.bimodal_entries == 512
+        assert config.frontend.ftq_depth == SimConfig().frontend.ftq_depth
+
+    def test_scalar_override(self):
+        assert SimConfig().with_overrides(
+            warmup_instructions=9).warmup_instructions == 9
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig().with_overrides(**{"prefetch.degree": 2})
+
+    def test_original_untouched(self):
+        base = SimConfig()
+        base.with_overrides(**{"prefetch.kind": "none"})
+        assert base.prefetch.kind == PrefetcherKind.FDIP

@@ -283,6 +283,85 @@ class TestSweepManifest:
         assert (tmp_path / "quarantine" / "m.json").exists()
 
 
+class TestManifestIdentity:
+    META = {"trace_length": 2000, "seed": 1, "points": 2,
+            "keys_digest": "abc123"}
+
+    def test_meta_round_trips(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path, meta=self.META)
+        manifest.mark_done("k1")
+        reloaded = SweepManifest(path, meta=self.META)
+        assert reloaded.done == {"k1"}
+        assert reloaded.meta == self.META
+
+    def test_mismatched_meta_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        SweepManifest(path, meta=self.META).mark_done("k1")
+        changed = dict(self.META, trace_length=4000)
+        with pytest.raises(ReproError, match="different sweep"):
+            SweepManifest(path, meta=changed)
+
+    def test_error_names_the_mismatched_field(self, tmp_path):
+        path = tmp_path / "m.json"
+        SweepManifest(path, meta=self.META).mark_done("k1")
+        changed = dict(self.META, seed=9)
+        with pytest.raises(ReproError, match="seed"):
+            SweepManifest(path, meta=changed)
+
+    def test_opening_without_expected_meta_adopts_stored(self, tmp_path):
+        # Inspection tools open the manifest without knowing the sweep.
+        path = tmp_path / "m.json"
+        SweepManifest(path, meta=self.META).mark_done("k1")
+        manifest = SweepManifest(path)
+        assert manifest.done == {"k1"}
+        assert manifest.meta == self.META
+
+    def test_legacy_manifest_without_meta_accepted(self, tmp_path):
+        # Pre-versioning checkpoints carry no meta; they load rather
+        # than abort (nothing to validate against).
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"version": 1, "done": ["k1"],
+                                    "failed": {}}))
+        manifest = SweepManifest(path, meta=self.META)
+        assert manifest.done == {"k1"}
+
+    def test_resume_without_store_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="result store"):
+            parallel_sweep([("compress_like", technique_config("none"))],
+                           trace_length=2000, processes=1,
+                           checkpoint=str(tmp_path), resume=True)
+
+    def test_resume_with_changed_sweep_rejected(self, tmp_path):
+        # An explicit *.json checkpoint path is reused verbatim across
+        # runs (a directory gets per-sweep file names instead), so a
+        # changed trace length must be caught by the meta check:
+        # previously the stale manifest silently skipped the "done"
+        # points even though the store has no results at this length.
+        store = ResultStore(tmp_path / "results")
+        checkpoint = str(tmp_path / "sweep.manifest.json")
+        points = [("compress_like", technique_config("none"))]
+        parallel_sweep(points, trace_length=2000, processes=1,
+                       store=store, checkpoint=checkpoint)
+        with pytest.raises(ReproError, match="different sweep"):
+            parallel_sweep(points, trace_length=4000, processes=1,
+                           store=store, checkpoint=checkpoint,
+                           resume=True)
+
+    def test_resume_with_changed_store_rejected(self, tmp_path):
+        points = [("compress_like", technique_config("none"))]
+        checkpoint = str(tmp_path / "ckpt")
+        parallel_sweep(points, trace_length=2000, processes=1,
+                       store=ResultStore(tmp_path / "a"),
+                       checkpoint=checkpoint)
+        # Repointing persist_dir while keeping the checkpoint used to
+        # "resume" against results that live somewhere else entirely.
+        with pytest.raises(ReproError, match="store"):
+            parallel_sweep(points, trace_length=2000, processes=1,
+                           store=ResultStore(tmp_path / "b"),
+                           checkpoint=checkpoint, resume=True)
+
+
 class _FlakyOnce:
     """Wraps run_simulation: raise on the first N calls, then delegate."""
 

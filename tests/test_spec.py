@@ -1,0 +1,174 @@
+"""Typed experiment points: ``Point``, ``ExperimentSpec``, and the
+legacy-tuple deprecation path."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.config import PrefetchConfig, SimConfig
+from repro.errors import ConfigError
+from repro.spec import (
+    ExperimentSpec,
+    Point,
+    _reset_deprecation_warnings,
+    normalize_points,
+)
+
+
+@pytest.fixture(autouse=True)
+def _rearm_tuple_warning():
+    """Each test sees the once-per-process warning fresh."""
+    _reset_deprecation_warnings()
+    yield
+    _reset_deprecation_warnings()
+
+
+class TestPoint:
+    def test_defaults(self):
+        point = Point("gcc_like", SimConfig())
+        assert point.label is None
+        assert point.shards is None
+        assert point.name == "gcc_like"
+        assert point.key == ("gcc_like", SimConfig())
+
+    def test_label_overrides_name(self):
+        point = Point("gcc_like", SimConfig(), label="baseline")
+        assert point.name == "baseline"
+        # The label is presentation only; the identity stays the pair.
+        assert point.key == ("gcc_like", SimConfig())
+
+    def test_hashable_and_frozen(self):
+        point = Point("gcc_like", SimConfig())
+        assert point in {point}
+        with pytest.raises(AttributeError):
+            point.workload = "other"
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(workload="", config=SimConfig()),
+        dict(workload=123, config=SimConfig()),
+        dict(workload="gcc_like", config="not-a-config"),
+        dict(workload="gcc_like", config=SimConfig(), shards=0),
+        dict(workload="gcc_like", config=SimConfig(), shards=-1),
+    ])
+    def test_invalid_points_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            Point(**kwargs)
+
+    def test_exported_from_top_level(self):
+        from repro.api import Point as api_point
+
+        assert repro.Point is Point
+        assert api_point is Point
+
+
+class TestExperimentSpec:
+    def test_sequence_protocol(self):
+        points = [Point("gcc_like", SimConfig()),
+                  Point("perl_like", SimConfig())]
+        spec = ExperimentSpec.of(points, name="demo")
+        assert len(spec) == 2
+        assert list(spec) == points
+        assert spec[1].workload == "perl_like"
+        assert spec.name == "demo"
+
+    def test_of_normalizes_tuples(self):
+        with pytest.warns(DeprecationWarning):
+            spec = ExperimentSpec.of([("gcc_like", SimConfig())])
+        assert spec[0] == Point("gcc_like", SimConfig())
+
+    def test_rejects_non_points(self):
+        with pytest.raises(ConfigError, match="ExperimentSpec.of"):
+            ExperimentSpec(points=(("gcc_like", SimConfig()),))
+
+    def test_unique_workloads_and_configs(self):
+        fdip = SimConfig(prefetch=PrefetchConfig(kind="fdip"))
+        none = SimConfig(prefetch=PrefetchConfig(kind="none"))
+        spec = ExperimentSpec.of([
+            Point("gcc_like", fdip), Point("gcc_like", none),
+            Point("perl_like", fdip)])
+        assert spec.workloads == ("gcc_like", "perl_like")
+        assert spec.configs == (fdip, none)
+
+    def test_exported_from_top_level(self):
+        assert repro.ExperimentSpec is ExperimentSpec
+
+
+class TestNormalizePoints:
+    def test_points_pass_through(self):
+        points = [Point("gcc_like", SimConfig())]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert normalize_points(points) == points
+
+    def test_spec_unwraps(self):
+        spec = ExperimentSpec.of([Point("gcc_like", SimConfig())])
+        assert normalize_points(spec) == list(spec.points)
+
+    def test_tuples_warn_once_per_process(self):
+        entry = ("gcc_like", SimConfig())
+        with pytest.warns(DeprecationWarning, match="Point"):
+            normalize_points([entry])
+        # Second call: already warned, stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            normalize_points([entry, entry])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError, match="sweep points"):
+            normalize_points(["gcc_like"])
+        with pytest.raises(ConfigError):
+            normalize_points([("gcc_like", SimConfig(), "extra")])
+
+
+class TestRunnerSweepAcceptsSpecs:
+    LENGTH = 4_000
+
+    def _runner(self):
+        from repro.harness.runner import Runner
+
+        return Runner(trace_length=self.LENGTH, seed=3,
+                      warmup_fraction=0.1)
+
+    def test_typed_points(self):
+        runner = self._runner()
+        points = [Point("compress_like", SimConfig(), label="base")]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            outcome = runner.sweep(points, processes=1)
+        assert not outcome.failures
+        assert outcome.results[points[0].key].instructions > 0
+
+    def test_experiment_spec(self):
+        runner = self._runner()
+        spec = ExperimentSpec.of(
+            [Point("compress_like", SimConfig())], name="smoke")
+        outcome = runner.sweep(spec, processes=1)
+        assert not outcome.failures
+
+    def test_legacy_tuples_warn_and_run(self):
+        runner = self._runner()
+        with pytest.warns(DeprecationWarning, match="Point"):
+            outcome = runner.sweep([("compress_like", SimConfig())],
+                                   processes=1)
+        assert not outcome.failures
+
+    def test_sharded_point_runs_and_counts(self):
+        runner = self._runner()
+        point = Point("compress_like", SimConfig(), shards=2)
+        outcome = runner.sweep([point], processes=1)
+        assert not outcome.failures
+        result = outcome.results[point.key]
+        assert result.telemetry.meta["sharding"]["shards"] == 2
+        assert runner.sweep_counters["sharded_points"] == 1
+
+    def test_api_sweep_accepts_spec(self):
+        from repro.api import sweep
+
+        spec = ExperimentSpec.of(
+            [Point("compress_like", SimConfig())], name="api")
+        outcome = sweep(spec, trace_length=self.LENGTH, seed=3,
+                        warmup_fraction=0.1, processes=1)
+        assert not outcome.failures
