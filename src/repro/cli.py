@@ -84,9 +84,40 @@ def _pool_flags() -> argparse.ArgumentParser:
     return parent
 
 
+def _checkpoint_flags() -> argparse.ArgumentParser:
+    """Shared in-run checkpoint/watchdog parent parser (run/stats)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--checkpoint-interval", type=int, default=0,
+                        metavar="CYCLES",
+                        help="write a resumable machine snapshot every "
+                             "N cycles (0 = off; needs --machine-"
+                             "checkpoint-dir)")
+    parent.add_argument("--machine-checkpoint-dir", default=None,
+                        metavar="DIR",
+                        help="directory for in-run machine snapshots; "
+                             "an existing valid snapshot of this exact "
+                             "run is resumed automatically")
+    parent.add_argument("--watchdog-interval", type=int, default=0,
+                        metavar="CYCLES",
+                        help="abort with a state dump if no instruction "
+                             "retires for N cycles (0 = off)")
+    return parent
+
+
 def _length(args: argparse.Namespace,
             fallback: int = _DEFAULT_LENGTH) -> int:
     return args.length if args.length is not None else fallback
+
+
+def _apply_robustness_flags(config: SimConfig,
+                            args: argparse.Namespace) -> SimConfig:
+    """Fold the checkpoint/watchdog flags into the run's config."""
+    if getattr(args, "checkpoint_interval", 0):
+        config = config.replace(
+            checkpoint_interval=args.checkpoint_interval)
+    if getattr(args, "watchdog_interval", 0):
+        config = config.replace(watchdog_interval=args.watchdog_interval)
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_flags = _trace_flags()
     pool_flags = _pool_flags()
+    checkpoint_flags = _checkpoint_flags()
 
     sub.add_parser("list", help="list workloads and techniques")
 
@@ -106,7 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("-w", "--workload", required=True,
                         choices=ALL_WORKLOADS)
 
-    p_run = sub.add_parser("run", parents=[trace_flags],
+    p_run = sub.add_parser("run", parents=[trace_flags, checkpoint_flags],
                            help="run one simulation")
     p_run.add_argument("-w", "--workload", required=True,
                        choices=ALL_WORKLOADS)
@@ -121,9 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--naive-loop", action="store_true",
                        help="disable the fast-path cycle engine "
                             "(results are identical either way)")
+    p_run.add_argument("--resume-from", default=None, metavar="SNAPSHOT",
+                       help="resume from one explicit snapshot file "
+                            "(written under --machine-checkpoint-dir)")
 
     p_stats = sub.add_parser(
-        "stats", parents=[trace_flags, pool_flags],
+        "stats", parents=[trace_flags, pool_flags, checkpoint_flags],
         help="run one simulation, dump the hierarchical telemetry tree")
     p_stats.add_argument("-w", "--workload", required=True,
                          choices=ALL_WORKLOADS)
@@ -178,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--checkpoint-dir", default=None,
                       help="result store + sweep manifest directory "
                            "(default: $REPRO_RESULT_CACHE)")
+    p_sw.add_argument("--machine-checkpoints", default=None,
+                      metavar="DIR",
+                      help="in-run machine snapshot directory: killed or "
+                           "hung workers resume their point mid-run "
+                           "instead of restarting it")
+    p_sw.add_argument("--checkpoint-interval", type=int, default=None,
+                      metavar="CYCLES",
+                      help="snapshot cadence for --machine-checkpoints")
 
     p_shard = sub.add_parser(
         "shard", parents=[trace_flags, pool_flags],
@@ -275,7 +318,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = technique_config(_technique_name(args), config)
     if args.warmup:
         config = config.replace(warmup_instructions=args.warmup)
-    result = simulate(trace, config, fast_loop=not args.naive_loop)
+    config = _apply_robustness_flags(config, args)
+
+    footer = None
+    if args.resume_from:
+        from pathlib import Path
+
+        from repro.sim import CheckpointManager, Simulator, snapshot_meta
+
+        meta = snapshot_meta(trace, config)
+        manager = CheckpointManager(Path(args.resume_from).parent,
+                                    meta=meta)
+        state = manager.load(args.resume_from)
+        sim = Simulator(trace, config, fast_loop=not args.naive_loop)
+        sim.load_state_dict(state)
+        if args.machine_checkpoint_dir and config.checkpoint_interval > 0:
+            sink = CheckpointManager(args.machine_checkpoint_dir,
+                                     meta=meta)
+            sim.checkpoint_sink = sink.write
+        result = sim.run()
+        footer = (f"checkpointing: resumed from {args.resume_from} "
+                  f"(cycle {state['cycle']})")
+    elif args.machine_checkpoint_dir:
+        from repro.sim import run_with_checkpoints
+
+        run = run_with_checkpoints(trace, config,
+                                   directory=args.machine_checkpoint_dir,
+                                   name=args.workload,
+                                   fast_loop=not args.naive_loop)
+        result = run.result
+        footer = (f"checkpointing: {run.snapshots_written} snapshots "
+                  f"written to {args.machine_checkpoint_dir}")
+        if run.resumed_from_cycle is not None:
+            footer += f", resumed from cycle {run.resumed_from_cycle}"
+        if run.quarantined:
+            footer += f", {run.quarantined} corrupt snapshots quarantined"
+    else:
+        result = simulate(trace, config, fast_loop=not args.naive_loop)
+    if footer is not None:
+        print(footer, file=sys.stderr)
     if args.json:
         payload = {
             "workload": result.name,
@@ -316,6 +397,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         config = config.replace(warmup_instructions=args.warmup)
     if args.window:
         config = config.replace(telemetry_window=args.window)
+    config = _apply_robustness_flags(config, args)
     if args.shards > 1:
         from repro.harness.shard_runner import run_sharded
 
@@ -323,7 +405,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                              overlap=args.shard_overlap,
                              processes=args.processes,
                              max_retries=args.max_retries,
-                             point_timeout=args.point_timeout)
+                             point_timeout=args.point_timeout,
+                             checkpoint_dir=args.machine_checkpoint_dir)
+    elif args.machine_checkpoint_dir:
+        from repro.sim import run_with_checkpoints
+
+        run = run_with_checkpoints(trace, config,
+                                   directory=args.machine_checkpoint_dir,
+                                   name=args.workload)
+        result = run.result
+        print(f"checkpointing: {run.snapshots_written} snapshots written"
+              + (f", resumed from cycle {run.resumed_from_cycle}"
+                 if run.resumed_from_cycle is not None else ""),
+              file=sys.stderr)
     else:
         result = simulate(trace, config)
     snapshot = result.telemetry
@@ -396,11 +490,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                           "REPRO_RESULT_CACHE) to know where results "
                           "were checkpointed")
     store = ResultStore(checkpoint) if checkpoint else None
+    extra = {}
+    if args.checkpoint_interval is not None:
+        extra["checkpoint_interval"] = args.checkpoint_interval
     outcome = parallel_sweep(
         points, trace_length=_length(args), seed=args.seed,
         processes=args.processes, max_retries=args.max_retries,
         point_timeout=args.point_timeout, store=store,
-        checkpoint=checkpoint, resume=args.resume)
+        checkpoint=checkpoint, resume=args.resume,
+        machine_checkpoints=args.machine_checkpoints, **extra)
     rows = []
     for workload, technique, config in triples:
         result = outcome.results.get((workload, config))

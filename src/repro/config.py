@@ -335,6 +335,15 @@ class SimConfig:
     # always collected.  Sampling is fast-loop aware and bit-identical
     # between the fast and naive loops (see docs/telemetry.md).
     telemetry_window: int = 0
+    # In-run checkpointing: snapshot the full machine state every
+    # this-many cycles (0 disables).  Snapshots are consistent
+    # end-of-cycle states; a run resumed from any of them is
+    # bit-identical to an uninterrupted run (see docs/robustness.md).
+    checkpoint_interval: int = 0
+    # No-progress watchdog: if no instruction retires for this many
+    # consecutive cycles, raise WatchdogStallError with a state dump
+    # instead of spinning until the cycle cap (0 disables).
+    watchdog_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.max_instructions is not None:
@@ -346,6 +355,10 @@ class SimConfig:
                  "fast_forward_instructions must be >= 0")
         _require(self.telemetry_window >= 0,
                  "telemetry_window must be >= 0")
+        _require(self.checkpoint_interval >= 0,
+                 "checkpoint_interval must be >= 0")
+        _require(self.watchdog_interval >= 0,
+                 "watchdog_interval must be >= 0")
         if self.max_cycles is not None:
             _require(self.max_cycles >= 1, "max_cycles must be >= 1")
 

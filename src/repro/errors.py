@@ -67,6 +67,43 @@ class WorkerCrashError(SweepExecutionError):
         super().__init__(message)
 
 
+class CheckpointError(ReproError):
+    """An in-run checkpoint could not be written, read, or applied.
+
+    Raised when a snapshot file is truncated or fails its SHA-256
+    checksum (the file is quarantined, not deleted), when a snapshot
+    was written by an incompatible schema version, or when a snapshot's
+    identity (trace, seed, config) does not match the run trying to
+    resume from it.
+    """
+
+    def __init__(self, path: str, reason: str):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"checkpoint {path}: {reason}")
+
+
+class WatchdogStallError(SimulationError):
+    """The no-progress watchdog fired: no instruction retired for an
+    entire watchdog interval.
+
+    Converts a livelocked simulation (the cycle counter advances but the
+    machine retires nothing) into a typed, diagnosable failure instead
+    of a silent hang until the cycle cap.  ``state`` carries a dump of
+    the machine's scheduling state at the moment the watchdog fired.
+    """
+
+    def __init__(self, cycle: int, retired: int, interval: int,
+                 state: dict | None = None):
+        self.cycle = cycle
+        self.retired = retired
+        self.interval = interval
+        self.state = dict(state or {})
+        super().__init__(
+            f"no instruction retired in {interval} cycles (cycle {cycle}, "
+            f"retired {retired}); machine state: {self.state}")
+
+
 class CacheCorruptionError(ReproError):
     """A persisted cache entry is corrupt (truncated, garbled, or failing
     its content checksum); the entry has been quarantined, not deleted."""

@@ -157,6 +157,52 @@ class PredictUnit(StatsComponent):
         self.stats.bump("resolutions")
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_mispredict(self) -> FTQEntry | None:
+        """The unresolved mispredicted block (None when on-path)."""
+        return self._pending_mispredict
+
+    def _extra_state(self) -> dict:
+        return {
+            "cursor": self._cursor,
+            "history": self._history,
+            "seq": self._seq,
+            "pending_mispredict": (self._pending_mispredict.to_state()
+                                   if self._pending_mispredict is not None
+                                   else None),
+            "wrong_pc": self._wrong_pc,
+            "ftb_wait_until": self._ftb_wait_until,
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._cursor = int(state["cursor"])
+        self._history = int(state["history"])
+        self._seq = int(state["seq"])
+        pending = state["pending_mispredict"]
+        self._pending_mispredict = (FTQEntry.from_state(pending)
+                                    if pending is not None else None)
+        self._wrong_pc = int(state["wrong_pc"])
+        wait = state["ftb_wait_until"]
+        self._ftb_wait_until = int(wait) if wait is not None else None
+
+    def relink_pending(self, ftq: FetchTargetQueue) -> None:
+        """Re-establish the pending entry's identity with its FTQ twin.
+
+        :meth:`on_resolve` enforces *object identity* between the
+        resolved entry and the pending misprediction; after a restore
+        the deserialized pending entry must therefore be replaced by
+        the equal entry still queued in the FTQ (when it has not been
+        popped by the fetch engine yet).
+        """
+        if self._pending_mispredict is not None:
+            queued = ftq.entry_by_seq(self._pending_mispredict.seq)
+            if queued is not None:
+                self._pending_mispredict = queued
+
+    # ------------------------------------------------------------------
     # Correct-path production and validation
     # ------------------------------------------------------------------
 

@@ -1,0 +1,73 @@
+"""Crash-safe filesystem primitives shared by the persistence layers.
+
+Both the result store (:mod:`repro.harness.persist`) and the in-run
+machine checkpointer (:mod:`repro.sim.checkpoint`) need the same two
+building blocks:
+
+- :func:`atomic_write_text` — write-to-temp + ``os.replace`` so readers
+  never observe a half-written file.  With ``durable=True`` the data and
+  the directory entry are ``fsync``\\ ed before returning, so the file
+  survives a machine crash (not just a process crash) — required for
+  machine checkpoints, whose whole purpose is to outlive a kill.
+- :func:`quarantine` — move a corrupt file into a ``quarantine/``
+  subdirectory for post-mortem instead of silently deleting it.
+
+They live here (below both the harness and the simulator) so neither
+layer has to import the other.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "quarantine", "QUARANTINE_DIR"]
+
+QUARANTINE_DIR = "quarantine"
+
+
+def atomic_write_text(directory: Path, path: Path, text: str, *,
+                      durable: bool = False) -> None:
+    """Write ``text`` to ``path`` via a unique temp file + atomic replace.
+
+    A unique per-writer temp file (not a shared ``.tmp`` path) keeps
+    concurrent writers of the same target from racing.  ``durable=True``
+    additionally fsyncs the file contents before the replace and the
+    directory entry after it.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=f".{path.stem}.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
+def quarantine(path: Path) -> Path:
+    """Move a corrupt file into the quarantine subdirectory."""
+    qdir = path.parent / QUARANTINE_DIR
+    qdir.mkdir(parents=True, exist_ok=True)
+    target = qdir / path.name
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = qdir / f"{path.name}.{suffix}"
+    os.replace(path, target)
+    return target

@@ -131,10 +131,33 @@ def _effective_config(config: SimConfig, warmup: int) -> SimConfig:
 
 
 def _run_point(workload: str, config: SimConfig, trace_length: int,
-               seed: int, verify_invariants: bool) -> SimResult:
-    """Worker: simulate one (workload, config) point and validate it."""
+               seed: int, verify_invariants: bool,
+               checkpoint_dir: str | None = None,
+               checkpoint_interval: int = 0) -> SimResult:
+    """Worker: simulate one (workload, config) point and validate it.
+
+    With ``checkpoint_dir`` the point runs through the machine
+    checkpointer: snapshots every ``checkpoint_interval`` cycles (when
+    the config does not already set its own), heartbeats for the
+    supervisor's stall probe, and resume from the latest snapshot when
+    this attempt follows a killed one.  The result is bit-identical to
+    an uncheckpointed run, so the cadence stays out of the point's
+    cache/store identity (the caller keys results by ``config``, not by
+    the run config used here).
+    """
     trace = build_trace(workload, trace_length, seed=seed)
-    result = run_simulation(trace, config, name=workload)
+    if checkpoint_dir is not None:
+        from repro.sim.checkpoint import run_with_checkpoints
+
+        run_config = config
+        if checkpoint_interval > 0 and config.checkpoint_interval == 0:
+            run_config = config.replace(
+                checkpoint_interval=checkpoint_interval)
+        result = run_with_checkpoints(trace, run_config,
+                                      directory=checkpoint_dir,
+                                      name=workload).result
+    else:
+        result = run_simulation(trace, config, name=workload)
     if verify_invariants:
         guard_invariants(result,
                          warmed_up=config.warmup_instructions > 0,
@@ -157,6 +180,10 @@ def _manifest_path(checkpoint: str | Path, keys: list[str],
     return checkpoint / f"sweep-{digest}.manifest.json"
 
 
+#: Default snapshot cadence (cycles) for machine-checkpointed sweeps.
+DEFAULT_CHECKPOINT_INTERVAL = 100_000
+
+
 def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
                    seed: int = 1, warmup: int | None = None,
                    processes: int | None = None, *,
@@ -166,6 +193,8 @@ def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
                    store: ResultStore | None = None,
                    checkpoint: str | Path | None = None,
                    resume: bool = False,
+                   machine_checkpoints: str | Path | None = None,
+                   checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
                    verify_invariants: bool = True) -> SweepOutcome:
     """Run every (workload, config) point under supervision.
 
@@ -181,6 +210,16 @@ def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
     already present in the store are loaded instead of re-simulated;
     resuming without a store is an error (there would be nothing to
     resume from).
+
+    ``machine_checkpoints`` turns on *in-run* machine snapshots (see
+    :mod:`repro.sim.checkpoint`): each point writes a resumable machine
+    snapshot every ``checkpoint_interval`` cycles into its own
+    subdirectory, so a killed or hung worker's retry continues from the
+    latest snapshot instead of cycle 0 — with a bit-identical final
+    result.  The snapshot heartbeats also feed the supervisor's
+    slow-vs-stuck probe, so a progressing point never dies to
+    ``point_timeout``.  The outcome's counters gain ``snapshots``,
+    ``ckpt_resumes``, and ``stalls``.
     """
     if resume and store is None:
         raise ReproError(
@@ -216,6 +255,11 @@ def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
     results: dict[SweepPoint, SimResult] = {}
     failures: list[PointFailure] = []
     resumed = 0
+    ckpt_counters = {"snapshots": 0, "ckpt_resumes": 0}
+
+    def point_dir(key: str) -> Path:
+        assert machine_checkpoints is not None
+        return Path(machine_checkpoints) / key
 
     todo = []
     for point in unique:
@@ -229,8 +273,23 @@ def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
                 if manifest is not None and key not in manifest.done:
                     manifest.mark_done(key)
                 continue
-        todo.append((key, (point[0], effective[point], trace_length,
-                           seed, verify_invariants)))
+        args = (point[0], effective[point], trace_length, seed,
+                verify_invariants)
+        if machine_checkpoints is not None:
+            args += (str(point_dir(key)), checkpoint_interval)
+        todo.append((key, args))
+
+    progress = None
+    if machine_checkpoints is not None:
+        from repro.sim.checkpoint import read_heartbeat
+
+        def _heartbeat_progress(key: str):
+            beat = read_heartbeat(point_dir(key))
+            if beat is None:
+                return None
+            return (beat.get("cycle"), beat.get("retired"))
+
+        progress = _heartbeat_progress
 
     def on_success(key: str, result: SimResult) -> None:
         point = by_key[key]
@@ -240,6 +299,15 @@ def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
                         result)
         if manifest is not None:
             manifest.mark_done(key)
+        if machine_checkpoints is not None:
+            from repro.sim.checkpoint import read_summary
+
+            summary = read_summary(point_dir(key))
+            if summary is not None:
+                ckpt_counters["snapshots"] += int(
+                    summary.get("snapshots", 0))
+                if summary.get("resumed_from_cycle") is not None:
+                    ckpt_counters["ckpt_resumes"] += 1
 
     def on_failure(key: str, failure: TaskFailure) -> None:
         point = by_key[key]
@@ -255,8 +323,9 @@ def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
         processes = 1
     supervised = run_supervised(_run_point, todo, processes=processes,
                                 policy=policy, on_success=on_success,
-                                on_failure=on_failure)
+                                on_failure=on_failure, progress=progress)
 
     counters = merge_counters(supervised.counters,
-                              {"points": len(unique), "resumed": resumed})
+                              {"points": len(unique), "resumed": resumed},
+                              ckpt_counters)
     return SweepOutcome(results, failures, counters)

@@ -26,19 +26,16 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 
 import repro
 from repro.config import SimConfig
 from repro.errors import CacheCorruptionError
+from repro.fsutil import QUARANTINE_DIR, atomic_write_text, quarantine
 from repro.sim import SimResult
 from repro.sim.serialize import result_from_json, result_to_json
 
 __all__ = ["ResultStore", "SweepManifest", "result_key"]
-
-QUARANTINE_DIR = "quarantine"
 
 
 def result_key(workload: str, config: SimConfig, trace_length: int,
@@ -57,34 +54,11 @@ def result_key(workload: str, config: SimConfig, trace_length: int,
     return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:32]
 
 
-def _atomic_write(directory: Path, path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` via a unique temp file + atomic replace."""
-    directory.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, prefix=f".{path.stem}.",
-                               suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-
-
-def _quarantine(path: Path) -> Path:
-    """Move a corrupt file into the quarantine subdirectory."""
-    qdir = path.parent / QUARANTINE_DIR
-    qdir.mkdir(parents=True, exist_ok=True)
-    target = qdir / path.name
-    suffix = 0
-    while target.exists():
-        suffix += 1
-        target = qdir / f"{path.name}.{suffix}"
-    os.replace(path, target)
-    return target
+# Crash-safe write/quarantine primitives now live in repro.fsutil,
+# shared with the machine checkpointer; these aliases keep the module's
+# historical internal surface (tests and older call sites) stable.
+_atomic_write = atomic_write_text
+_quarantine = quarantine
 
 
 class ResultStore:
@@ -124,6 +98,14 @@ class ResultStore:
         try:
             text = path.read_text(encoding="utf-8")
         except FileNotFoundError:
+            return None
+        except UnicodeDecodeError:
+            # Garbled beyond UTF-8: corrupt, same as a failed checksum.
+            try:
+                _quarantine(path)
+                self.quarantined += 1
+            except OSError:
+                pass
             return None
         try:
             return self._parse(path, text)

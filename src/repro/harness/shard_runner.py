@@ -38,6 +38,7 @@ from repro.sim.sharding import (
     plan_shards,
     run_one_shard,
     run_shards_inline,
+    shard_checkpoint_dir,
     sharded_result,
 )
 from repro.stats.telemetry import TelemetrySnapshot
@@ -48,7 +49,9 @@ __all__ = ["run_sharded", "run_sharded_workload"]
 
 def _run_shard_subtrace(records, name: str, seed: int, config_data: dict,
                         index: int, sim_start: int, start: int, stop: int,
-                        warm: str) -> TelemetrySnapshot:
+                        warm: str,
+                        checkpoint_dir: str | None = None,
+                        ) -> TelemetrySnapshot:
     """Worker: simulate one pre-sliced shard sub-trace.
 
     ``sim_start``/``start``/``stop`` index into ``records`` — the parent
@@ -59,13 +62,15 @@ def _run_shard_subtrace(records, name: str, seed: int, config_data: dict,
     trace = Trace(records, name=name, seed=seed)
     spec = ShardSpec(index=index, sim_start=sim_start, start=start,
                      stop=stop)
-    return run_one_shard(trace, config, spec, name=name, warm=warm)
+    return run_one_shard(trace, config, spec, name=name, warm=warm,
+                         checkpoint_dir=checkpoint_dir)
 
 
 def _run_shard_workload(workload: str, trace_length: int, seed: int,
                         config_data: dict, index: int, sim_start: int,
-                        start: int, stop: int,
-                        warm: str) -> TelemetrySnapshot:
+                        start: int, stop: int, warm: str,
+                        checkpoint_dir: str | None = None,
+                        ) -> TelemetrySnapshot:
     """Worker: rebuild the workload trace and simulate one shard."""
     from repro.workloads import build_trace
 
@@ -73,7 +78,8 @@ def _run_shard_workload(workload: str, trace_length: int, seed: int,
     trace = build_trace(workload, trace_length, seed=seed)
     spec = ShardSpec(index=index, sim_start=sim_start, start=start,
                      stop=stop)
-    return run_one_shard(trace, config, spec, warm=warm)
+    return run_one_shard(trace, config, spec, warm=warm,
+                         checkpoint_dir=checkpoint_dir)
 
 
 def _collect(outcome, plan: ShardPlan) -> list[TelemetrySnapshot]:
@@ -97,7 +103,8 @@ def run_sharded(trace: Trace, config: SimConfig | None = None, *,
                 warm: str = "functional", name: str | None = None,
                 processes: int | None = None, max_retries: int = 2,
                 point_timeout: float | None = None,
-                policy: RetryPolicy | None = None) -> SimResult:
+                policy: RetryPolicy | None = None,
+                checkpoint_dir: str | None = None) -> SimResult:
     """Simulate ``trace`` split into ``shards`` windows; merge telemetry.
 
     With ``processes=1`` (or a single shard) every window runs inline in
@@ -106,6 +113,11 @@ def run_sharded(trace: Trace, config: SimConfig | None = None, *,
     the warm-up mode (see :mod:`repro.sim.sharding`).  The merged
     result carries shard provenance under
     ``result.telemetry.meta["sharding"]``.
+
+    ``checkpoint_dir`` gives every shard its own machine-checkpoint
+    subdirectory (snapshots every ``config.checkpoint_interval``
+    cycles): a shard whose worker is killed resumes from its latest
+    snapshot on retry, and the merged result stays bit-identical.
     """
     _check_mode(warm)
     if config is None:
@@ -119,7 +131,8 @@ def run_sharded(trace: Trace, config: SimConfig | None = None, *,
     plan = plan_shards(total, shards, overlap,
                        warmup=config.warmup_instructions)
     if len(plan) == 1 or processes == 1:
-        snapshots = run_shards_inline(trace, config, plan, warm=warm)
+        snapshots = run_shards_inline(trace, config, plan, warm=warm,
+                                      checkpoint_dir=checkpoint_dir)
     else:
         config_data = config.to_dict()
         tasks = []
@@ -136,7 +149,9 @@ def run_sharded(trace: Trace, config: SimConfig | None = None, *,
                           (sub.records, f"{name}#shard{spec.index}",
                            trace.seed, config_data, spec.index,
                            spec.sim_start - lo, spec.start - lo,
-                           spec.stop - lo, warm)))
+                           spec.stop - lo, warm,
+                           shard_checkpoint_dir(checkpoint_dir,
+                                                spec.index))))
         outcome = run_supervised(
             _run_shard_subtrace, tasks,
             processes=min(processes or len(plan), len(plan)),
@@ -154,7 +169,8 @@ def run_sharded_workload(workload: str, trace_length: int, seed: int,
                          processes: int | None = None,
                          max_retries: int = 2,
                          point_timeout: float | None = None,
-                         policy: RetryPolicy | None = None) -> SimResult:
+                         policy: RetryPolicy | None = None,
+                         checkpoint_dir: str | None = None) -> SimResult:
     """Sharded simulation of a synthetic workload, rebuilt per worker.
 
     Equivalent to building the trace here and calling
@@ -173,12 +189,14 @@ def run_sharded_workload(workload: str, trace_length: int, seed: int,
         from repro.workloads import build_trace
 
         trace = build_trace(workload, trace_length, seed=seed)
-        snapshots = run_shards_inline(trace, config, plan, warm=warm)
+        snapshots = run_shards_inline(trace, config, plan, warm=warm,
+                                      checkpoint_dir=checkpoint_dir)
     else:
         config_data = config.to_dict()
         tasks = [(f"shard{spec.index}",
                   (workload, trace_length, seed, config_data, spec.index,
-                   spec.sim_start, spec.start, spec.stop, warm))
+                   spec.sim_start, spec.start, spec.stop, warm,
+                   shard_checkpoint_dir(checkpoint_dir, spec.index)))
                  for spec in plan.shards]
         outcome = run_supervised(
             _run_shard_workload, tasks,

@@ -10,7 +10,12 @@ long ``REPRO_FULL=1`` sweep actually hits:
   the task key and attempt number, so reruns behave identically);
 - **hung workers** — each attempt gets a wall-clock deadline; on expiry
   the pool is torn down (terminating the stuck process), rebuilt, and the
-  surviving in-flight tasks are resubmitted without losing an attempt;
+  surviving in-flight tasks are resubmitted without losing an attempt.
+  With a ``progress`` probe (e.g. the machine checkpointer's heartbeat
+  file, see :mod:`repro.sim.checkpoint`), a task whose probe value moved
+  since the deadline was set is *slow but progressing*: its deadline is
+  extended instead of the worker killed (counted under ``stalls``), so
+  long points with live heartbeats are never mistaken for livelock;
 - **dead workers** — a worker that segfaults or ``os._exit``\\ s marks the
   ``ProcessPoolExecutor`` broken (``BrokenProcessPool``); the supervisor
   rebuilds the pool and retries everything that was in flight.  The pool
@@ -124,9 +129,21 @@ class _Pending:
     ready_at: float
 
 
+@dataclass
+class _InFlight:
+    """Bookkeeping for one submitted attempt."""
+
+    key: str
+    args: tuple
+    attempt: int
+    deadline: float | None
+    started: float
+    progress_token: Any = None
+
+
 def _new_counters() -> dict[str, int]:
     return {"completed": 0, "retried": 0, "failed": 0,
-            "timeouts": 0, "crashes": 0, "rebuilds": 0}
+            "timeouts": 0, "stalls": 0, "crashes": 0, "rebuilds": 0}
 
 
 def run_supervised(fn: Callable[..., Any],
@@ -136,18 +153,29 @@ def run_supervised(fn: Callable[..., Any],
                    policy: RetryPolicy | None = None,
                    on_success: Callable[[str, Any], None] | None = None,
                    on_failure: Callable[[str, TaskFailure], None] | None = None,
+                   progress: Callable[[str], Any] | None = None,
                    ) -> SupervisedOutcome:
     """Run ``fn(*args)`` for every ``(key, args)`` task, fault-tolerantly.
 
     ``on_success``/``on_failure`` fire in *this* process as each task
-    settles — the checkpointing hooks used by the sweep layer.  Returns a
-    :class:`SupervisedOutcome`; never raises for task-level failures.
+    settles — the checkpointing hooks used by the sweep layer.
+
+    ``progress`` probes a task's forward progress by key (any comparable
+    token; None means "no signal").  It distinguishes *slow* from
+    *stuck* at deadline expiry: a task whose token changed since its
+    deadline was set gets the deadline extended (counted under
+    ``stalls``) instead of its worker killed.  Tokens are only consulted
+    when ``point_timeout`` is set and the pool path runs.
+
+    Returns a :class:`SupervisedOutcome`; never raises for task-level
+    failures.
     """
     if policy is None:
         policy = RetryPolicy()
     if processes == 1 or not tasks:
         return _run_inline(fn, tasks, policy, on_success, on_failure)
-    return _run_pooled(fn, tasks, processes, policy, on_success, on_failure)
+    return _run_pooled(fn, tasks, processes, policy, on_success, on_failure,
+                       progress)
 
 
 def _run_inline(fn, tasks, policy, on_success, on_failure) -> SupervisedOutcome:
@@ -207,7 +235,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 
 def _run_pooled(fn, tasks, processes, policy,
-                on_success, on_failure) -> SupervisedOutcome:
+                on_success, on_failure, progress=None) -> SupervisedOutcome:
     results: dict[str, Any] = {}
     failures: dict[str, TaskFailure] = {}
     counters = _new_counters()
@@ -216,7 +244,15 @@ def _run_pooled(fn, tasks, processes, policy,
     pool = ProcessPoolExecutor(max_workers=processes)
     pending: list[_Pending] = [
         _Pending(key, args, 1, 0.0) for key, args in tasks]
-    inflight: dict[Any, tuple[str, tuple, int, float | None, float]] = {}
+    inflight: dict[Any, _InFlight] = {}
+
+    def probe(key: str) -> Any:
+        if progress is None:
+            return None
+        try:
+            return progress(key)
+        except Exception:  # noqa: BLE001 — a broken probe must not kill
+            return None    # the batch; it just loses stall detection
 
     def settle_failure(key: str, args: tuple, attempt: int,
                        error_type: str, message: str, duration: float,
@@ -263,8 +299,9 @@ def _run_pooled(fn, tasks, processes, policy,
                 # Pool died between batches; rebuild and resubmit.
                 rebuild()
                 future = pool.submit(fn, *item.args)
-            inflight[future] = (item.key, item.args, item.attempt,
-                                deadline, now)
+            inflight[future] = _InFlight(item.key, item.args, item.attempt,
+                                         deadline, now,
+                                         progress_token=probe(item.key))
         pending[:] = remaining
 
     try:
@@ -276,8 +313,8 @@ def _run_pooled(fn, tasks, processes, policy,
                 time.sleep(max(_MIN_WAIT, next_ready - time.monotonic()))
                 continue
 
-            horizons = [meta[3] for meta in inflight.values()
-                        if meta[3] is not None]
+            horizons = [meta.deadline for meta in inflight.values()
+                        if meta.deadline is not None]
             horizons.extend(item.ready_at for item in pending)
             timeout = None
             if horizons:
@@ -287,57 +324,69 @@ def _run_pooled(fn, tasks, processes, policy,
 
             pool_broken = False
             for future in done:
-                key, args, attempt, _deadline, started = inflight.pop(future)
-                duration = time.monotonic() - started
+                meta = inflight.pop(future)
+                duration = time.monotonic() - meta.started
                 try:
                     value = future.result()
                 except BrokenProcessPool as exc:
                     pool_broken = True
-                    settle_failure(key, args, attempt, "WorkerCrashError",
+                    settle_failure(meta.key, meta.args, meta.attempt,
+                                   "WorkerCrashError",
                                    str(exc) or "process pool broken",
                                    duration)
                 except Exception as exc:  # noqa: BLE001 — worker exception
-                    settle_failure(key, args, attempt,
+                    settle_failure(meta.key, meta.args, meta.attempt,
                                    type(exc).__name__, str(exc), duration)
                 else:
-                    results[key] = value
+                    results[meta.key] = value
                     counters["completed"] += 1
                     if on_success is not None:
-                        on_success(key, value)
+                        on_success(meta.key, value)
 
             if pool_broken:
                 # Every future on a broken pool fails; drain them all as
                 # crash attempts (attribution to one task is impossible),
                 # then rebuild.
-                for future, (key, args, attempt, _deadline,
-                             started) in list(inflight.items()):
-                    settle_failure(key, args, attempt, "WorkerCrashError",
+                for meta in list(inflight.values()):
+                    settle_failure(meta.key, meta.args, meta.attempt,
+                                   "WorkerCrashError",
                                    "in flight when a pool worker died",
-                                   time.monotonic() - started)
+                                   time.monotonic() - meta.started)
                 inflight.clear()
                 rebuild()
                 continue
 
             now = time.monotonic()
-            timed_out = [future for future, meta in inflight.items()
-                         if meta[3] is not None and now >= meta[3]]
+            expired = [future for future, meta in inflight.items()
+                       if meta.deadline is not None and now >= meta.deadline]
+            timed_out = []
+            for future in expired:
+                meta = inflight[future]
+                token = probe(meta.key)
+                if token is not None and token != meta.progress_token:
+                    # Slow but provably progressing (the heartbeat moved
+                    # since the deadline was set): extend instead of kill.
+                    meta.progress_token = token
+                    meta.deadline = now + policy.point_timeout
+                    counters["stalls"] += 1
+                    continue
+                timed_out.append(future)
             if timed_out:
                 for future in timed_out:
-                    key, args, attempt, _deadline, started = \
-                        inflight.pop(future)
-                    error = PointTimeoutError(key, policy.point_timeout)
-                    settle_failure(key, args, attempt,
+                    meta = inflight.pop(future)
+                    error = PointTimeoutError(meta.key, policy.point_timeout)
+                    settle_failure(meta.key, meta.args, meta.attempt,
                                    type(error).__name__, str(error),
-                                   now - started)
+                                   now - meta.started)
                 # A hung worker cannot be reclaimed individually: tear the
                 # pool down and resubmit the survivors, without charging
                 # them an attempt.
                 survivors = list(inflight.values())
                 inflight.clear()
                 rebuild()
-                for key, args, attempt, _deadline, _started in survivors:
-                    settle_failure(key, args, attempt, "", "", 0.0,
-                                   count_attempt=False)
+                for meta in survivors:
+                    settle_failure(meta.key, meta.args, meta.attempt,
+                                   "", "", 0.0, count_attempt=False)
     finally:
         _kill_pool(pool)
 

@@ -22,10 +22,22 @@ from repro.sim.serialize import (
     result_to_json,
 )
 from repro.sim.simulator import Simulator, make_prefetcher, run_simulation
+from repro.sim.checkpoint import (
+    CheckpointManager,
+    CheckpointedRun,
+    read_heartbeat,
+    run_with_checkpoints,
+    snapshot_meta,
+)
 
 __all__ = [
     "Simulator",
     "SimResult",
+    "CheckpointManager",
+    "CheckpointedRun",
+    "run_with_checkpoints",
+    "snapshot_meta",
+    "read_heartbeat",
     "DEFAULT_SHARD_OVERLAP",
     "ShardPlan",
     "ShardSpec",

@@ -53,6 +53,7 @@ Guarantees:
 
 from __future__ import annotations
 
+import os.path
 from dataclasses import dataclass
 
 from repro.config import SimConfig
@@ -69,6 +70,7 @@ __all__ = [
     "ShardPlan",
     "plan_shards",
     "shard_config",
+    "shard_checkpoint_dir",
     "run_shards_inline",
     "merge_shard_snapshots",
     "sharded_result",
@@ -232,28 +234,53 @@ def _shard_trace(trace: Trace, spec: ShardSpec, warm: str) -> Trace:
 
 def run_one_shard(trace: Trace, config: SimConfig, spec: ShardSpec,
                   name: str | None = None,
-                  warm: str = "functional") -> TelemetrySnapshot:
+                  warm: str = "functional",
+                  checkpoint_dir: str | None = None) -> TelemetrySnapshot:
     """Simulate one shard of ``trace`` and return its telemetry.
 
     ``trace`` is the *full* trace (indices in ``spec`` are absolute);
     the shard's slice is cut here.  Pool workers call this too, with a
     sub-trace whose spec was rebased to match.
+
+    ``checkpoint_dir`` runs the shard through the machine checkpointer
+    (see :mod:`repro.sim.checkpoint`): snapshots every
+    ``config.checkpoint_interval`` cycles, and resume from the latest
+    valid snapshot when this call retries a killed worker — the shard's
+    telemetry is bit-identical either way.
     """
     from repro.sim.simulator import Simulator
 
     sub = _shard_trace(trace, spec, warm)
-    result = Simulator(sub, shard_config(config, spec, warm),
-                       name=name or f"{trace.name}#shard{spec.index}").run()
+    cfg = shard_config(config, spec, warm)
+    shard_name = name or f"{trace.name}#shard{spec.index}"
+    if checkpoint_dir is not None:
+        from repro.sim.checkpoint import run_with_checkpoints
+
+        result = run_with_checkpoints(sub, cfg, directory=checkpoint_dir,
+                                      name=shard_name).result
+    else:
+        result = Simulator(sub, cfg, name=shard_name).run()
     assert result.telemetry is not None
     return result.telemetry
 
 
 def run_shards_inline(trace: Trace, config: SimConfig, plan: ShardPlan,
                       warm: str = "functional",
+                      checkpoint_dir: str | None = None,
                       ) -> list[TelemetrySnapshot]:
     """Simulate every shard sequentially in this process."""
-    return [run_one_shard(trace, config, spec, warm=warm)
+    return [run_one_shard(trace, config, spec, warm=warm,
+                          checkpoint_dir=shard_checkpoint_dir(
+                              checkpoint_dir, spec.index))
             for spec in plan.shards]
+
+
+def shard_checkpoint_dir(checkpoint_dir: str | None,
+                         index: int) -> str | None:
+    """Each shard snapshots into its own subdirectory of the run's."""
+    if checkpoint_dir is None:
+        return None
+    return os.path.join(checkpoint_dir, f"shard{index}")
 
 
 def _restore_derived(node: TelemetryNode) -> None:

@@ -19,12 +19,13 @@ stay warm).
 from __future__ import annotations
 
 import warnings
+from typing import Callable
 
 from repro.bpred import ReturnAddressStack, make_direction_predictor
 from repro.component import Component
 from repro.config import SimConfig
 from repro.cpu import Backend
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WatchdogStallError
 from repro.frontend import FetchEngine, FetchTargetQueue, FTQEntry, \
     PredictUnit
 from repro.ftb import FetchTargetBuffer, TwoLevelFTB
@@ -105,6 +106,12 @@ class Simulator:
         self._warmed = config.warmup_instructions == 0
         self._measure_start_cycle = 0
         self._measure_start_retired = 0
+        # In-run checkpointing: when a sink is attached and
+        # config.checkpoint_interval > 0, run() hands it a machine
+        # snapshot every interval cycles (see sim/checkpoint.py).
+        self.checkpoint_sink: Callable[[dict], None] | None = None
+        self._resume_sampler: dict | None = None
+        self._resume_occupancy: dict | None = None
         if self._warm_records:
             self._fast_forward()
 
@@ -197,10 +204,29 @@ class Simulator:
         ftq = self.ftq
 
         window = self.config.telemetry_window
-        sampler = IntervalSampler(window, origin=self.cycle,
-                                  base_retired=backend.retired) \
-            if window > 0 else None
+        if self._resume_sampler is not None:
+            # Resuming from a checkpoint: continue the in-progress
+            # series instead of anchoring a fresh one mid-run.
+            sampler = IntervalSampler.from_state_dict(self._resume_sampler)
+            self._resume_sampler = None
+        else:
+            sampler = IntervalSampler(window, origin=self.cycle,
+                                      base_retired=backend.retired) \
+                if window > 0 else None
         occupancy = RunLengthObserver(self.stats.histogram("ftq_occupancy"))
+        if self._resume_occupancy is not None:
+            occupancy.load_state_dict(self._resume_occupancy)
+            self._resume_occupancy = None
+
+        interval = self.config.checkpoint_interval
+        sink = self.checkpoint_sink
+        next_ckpt = (self.cycle + interval
+                     if interval > 0 and sink is not None else None)
+        watchdog = self.config.watchdog_interval
+        # A resume restarts the watchdog's interval at the resume point.
+        progress_cycle = self.cycle
+        progress_retired = backend.retired
+
         while backend.retired < total:
             self.cycle += 1
             cycle = self.cycle
@@ -243,6 +269,20 @@ class Simulator:
                 if plan is not None:
                     self._apply_skip(plan, occupancy, sampler)
 
+            if watchdog > 0:
+                if backend.retired > progress_retired:
+                    progress_retired = backend.retired
+                    progress_cycle = self.cycle
+                elif self.cycle - progress_cycle >= watchdog:
+                    raise WatchdogStallError(
+                        self.cycle, backend.retired, watchdog,
+                        state=self._stall_dump())
+            if next_ckpt is not None and self.cycle >= next_ckpt:
+                # End-of-cycle consistent point; ``>=`` (not ``==``)
+                # because a fast-path skip may jump across the boundary.
+                sink(self.state_dict(occupancy=occupancy, sampler=sampler))
+                next_ckpt = self.cycle + interval
+
         occupancy.flush()
         intervals = None
         if sampler is not None:
@@ -282,6 +322,96 @@ class Simulator:
         self._measure_start_cycle = self.cycle
         self._measure_start_retired = self.backend.retired
         self._reset_stats()
+
+    def _stall_dump(self) -> dict:
+        """Scheduling-state summary attached to watchdog failures."""
+        return {
+            "ftq_occupancy": self.ftq.occupancy(),
+            "resolve_at": self._resolve_at,
+            "fetch_waiting_until": self.fetch_engine.waiting_until,
+            "ftb_wait_until": self.predict_unit.ftb_wait_until,
+            "backend_occupancy": self.backend.occupancy,
+            "next_completion": self.backend.next_completion,
+            "next_fill": self.memory.next_event_cycle,
+            "in_flight_blocks": self.memory.in_flight_blocks(),
+            "predict_done": self.predict_unit.done,
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def state_dict(self, *, occupancy: RunLengthObserver | None = None,
+                   sampler: IntervalSampler | None = None) -> dict:
+        """JSON-compatible snapshot of the whole machine.
+
+        ``occupancy``/``sampler`` are ``run()``'s loop-local telemetry
+        accumulators; the in-run checkpoint hook passes them so a
+        resumed run reproduces the interval series and the occupancy
+        histogram bit for bit.  Snapshots taken between runs may omit
+        them.
+        """
+        return {
+            "cycle": self.cycle,
+            # Convenience copy for heartbeats/diagnostics; restore reads
+            # the authoritative value from the backend component state.
+            "retired": self.backend.retired,
+            "skipped_cycles": self.skipped_cycles,
+            "resolve_at": self._resolve_at,
+            "has_resolve_entry": self._resolve_entry is not None,
+            "warmed": self._warmed,
+            "measure_start_cycle": self._measure_start_cycle,
+            "measure_start_retired": self._measure_start_retired,
+            "stats": self.stats.state_dict(),
+            # Positional, matching components() order.
+            "components": [component.state_dict()
+                           for component in self.components()],
+            "occupancy": (occupancy.state_dict()
+                          if occupancy is not None else None),
+            "sampler": sampler.state_dict() if sampler is not None else None,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a machine snapshot captured by :meth:`state_dict`.
+
+        The simulator must have been constructed with the same trace
+        and config as the one that produced the snapshot (the
+        checkpoint manager enforces this via identity metadata); the
+        next :meth:`run` call then continues from the captured cycle
+        and produces a bit-identical :class:`SimResult`.
+        """
+        self.cycle = int(state["cycle"])
+        self.skipped_cycles = int(state["skipped_cycles"])
+        resolve_at = state["resolve_at"]
+        self._resolve_at = int(resolve_at) if resolve_at is not None else None
+        self._warmed = bool(state["warmed"])
+        self._measure_start_cycle = int(state["measure_start_cycle"])
+        self._measure_start_retired = int(state["measure_start_retired"])
+        self.stats.load_state_dict(state["stats"])
+        components = self.components()
+        payloads = state["components"]
+        if len(payloads) != len(components):
+            raise SimulationError(
+                f"snapshot holds {len(payloads)} component states, "
+                f"machine has {len(components)}")
+        for component, payload in zip(components, payloads):
+            component.load_state_dict(payload)
+        # Re-establish object-identity aliases that serialization by
+        # value necessarily broke: the pending mispredicted entry is
+        # the same object in the FTQ (when still queued) and as the
+        # simulator's resolve entry (when already delivered).
+        self.predict_unit.relink_pending(self.ftq)
+        if state["has_resolve_entry"]:
+            entry = self.predict_unit.pending_mispredict
+            if entry is None:
+                raise SimulationError(
+                    "snapshot has a scheduled resolution but no pending "
+                    "misprediction")
+            self._resolve_entry = entry
+        else:
+            self._resolve_entry = None
+        self._resume_occupancy = state.get("occupancy")
+        self._resume_sampler = state.get("sampler")
 
     # ------------------------------------------------------------------
     # Telemetry

@@ -19,10 +19,14 @@ from repro.stats.telemetry import (
 __all__ = ["COUNTER_NAMES", "merge_counters", "merge_snapshots",
            "sweep_stat_group", "summary_line"]
 
-# Canonical counter vocabulary, in display order.
+# Canonical counter vocabulary, in display order.  The last three come
+# from in-run machine checkpointing (repro.sim.checkpoint): snapshots
+# written, points resumed from a mid-run snapshot, and deadline
+# extensions granted to slow-but-progressing workers ("stalls").
 COUNTER_NAMES: tuple[str, ...] = (
     "points", "completed", "resumed", "retried", "failed",
     "timeouts", "crashes", "rebuilds",
+    "snapshots", "ckpt_resumes", "stalls",
 )
 
 
@@ -100,4 +104,14 @@ def summary_line(counters: dict[str, int]) -> str:
         breakdown.append(f"{counters['rebuilds']} pool rebuilds")
     if breakdown:
         text += f" ({', '.join(breakdown)})"
+    checkpointing = []
+    if counters.get("snapshots", 0):
+        checkpointing.append(f"{counters['snapshots']} snapshots")
+    if counters.get("ckpt_resumes", 0):
+        checkpointing.append(
+            f"{counters['ckpt_resumes']} checkpoint resumes")
+    if counters.get("stalls", 0):
+        checkpointing.append(f"{counters['stalls']} stalls tolerated")
+    if checkpointing:
+        text += f" [{', '.join(checkpointing)}]"
     return text

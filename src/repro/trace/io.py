@@ -65,18 +65,43 @@ def read_trace(path: str | Path) -> Trace:
                 raise TraceError(
                     f"{path}: unsupported trace version "
                     f"{header.get('version')!r}")
-            count = header["count"]
+            count = header.get("count")
+            if not isinstance(count, int) or count < 0:
+                raise TraceError(
+                    f"{path}: malformed trace header: 'count' must be a "
+                    f"non-negative integer, got {count!r}")
+            name = header.get("name")
+            seed = header.get("seed")
+            if not isinstance(name, str) or not isinstance(seed, int):
+                raise TraceError(
+                    f"{path}: malformed trace header: missing or invalid "
+                    f"'name'/'seed'")
             payload = inp.read(count * _RECORD.size + 1)
     except OSError as exc:
+        # Covers unreadable files and gzip-level corruption (BadGzipFile
+        # is an OSError), including payloads truncated mid-member.
         raise TraceError(f"{path}: cannot read trace: {exc}") from exc
 
-    if len(payload) != count * _RECORD.size:
+    if len(payload) < count * _RECORD.size:
+        complete = len(payload) // _RECORD.size
+        offset = len(header_line) + complete * _RECORD.size
         raise TraceError(
-            f"{path}: expected {count} records, payload holds "
-            f"{len(payload) // _RECORD.size}")
+            f"{path}: truncated trace: header promises {count} records "
+            f"but only {complete} are complete; data ends at "
+            f"uncompressed byte offset {offset + len(payload) % _RECORD.size} "
+            f"(record boundary at {offset})")
+    if len(payload) > count * _RECORD.size:
+        offset = len(header_line) + count * _RECORD.size
+        raise TraceError(
+            f"{path}: trailing data after the {count} promised records "
+            f"(from uncompressed byte offset {offset})")
 
-    records = [
-        TraceRecord(pc, InstrKind(kind), bool(taken), next_pc)
-        for pc, kind, taken, next_pc in _RECORD.iter_unpack(payload)
-    ]
-    return Trace(records, name=header["name"], seed=header["seed"])
+    try:
+        records = [
+            TraceRecord(pc, InstrKind(kind), bool(taken), next_pc)
+            for pc, kind, taken, next_pc in _RECORD.iter_unpack(payload)
+        ]
+    except ValueError as exc:
+        raise TraceError(
+            f"{path}: corrupt record payload: {exc}") from None
+    return Trace(records, name=name, seed=seed)

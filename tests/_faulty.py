@@ -65,3 +65,18 @@ def hang_then_ok(counter: str, fail_times: int, value: object,
     if count <= fail_times:
         time.sleep(sleep_s)
     return value
+
+
+def slow_progress(counter: str, progress_file: str, steps: int,
+                  step_s: float, value: object) -> object:
+    """Run past any reasonable timeout, but honestly report progress.
+
+    Bumps ``progress_file`` after every step so a supervisor probing it
+    sees the token advance — the signature of a slow worker, not a
+    stuck one.
+    """
+    bump(counter)
+    for step in range(steps):
+        time.sleep(step_s)
+        Path(progress_file).write_text(str(step + 1))
+    return value

@@ -1,0 +1,317 @@
+"""In-run machine checkpointing: snapshot format and resume identity.
+
+The load-bearing property is at the top: a simulation resumed from ANY
+snapshot produces a bit-identical :class:`~repro.sim.SimResult` —
+including interval telemetry — to the uninterrupted run, for every
+prefetcher variant, under both engines, and across engine switches.
+Snapshots round-trip through JSON in these tests exactly as they do on
+disk, so object-identity bugs (shared sidecars, live histogram
+references) cannot hide behind in-process aliasing.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.config import PrefetchConfig, PrefetcherKind, SimConfig
+from repro.errors import CheckpointError, WatchdogStallError
+from repro.fsutil import QUARANTINE_DIR
+from repro.harness.supervise import RetryPolicy, run_supervised
+from repro.sim import (
+    CheckpointManager,
+    Simulator,
+    run_with_checkpoints,
+    snapshot_meta,
+)
+from repro.sim.checkpoint import read_heartbeat, read_summary
+from repro.workloads import build_trace
+from tests import _faulty
+
+LENGTH = 2500
+
+_TRACE = build_trace("gcc_like", LENGTH, seed=7)
+
+
+def _config(kind: str = PrefetcherKind.FDIP, **changes) -> SimConfig:
+    config = SimConfig(prefetch=PrefetchConfig(kind=kind),
+                       telemetry_window=64)
+    return config.replace(**changes) if changes else config
+
+
+def _reference(config: SimConfig, fast_loop: bool):
+    """Uninterrupted run; returns (result, JSON-round-tripped snapshots)."""
+    sim = Simulator(_TRACE, config, fast_loop=fast_loop)
+    states: list[dict] = []
+    sim.checkpoint_sink = lambda s: states.append(json.loads(json.dumps(s)))
+    return sim.run(), states
+
+
+def _resume(config: SimConfig, state: dict, fast_loop: bool):
+    sim = Simulator(_TRACE, config, fast_loop=fast_loop)
+    sim.load_state_dict(json.loads(json.dumps(state)))
+    return sim.run()
+
+
+# ----------------------------------------------------------------------
+# Bit-identical resume (the tentpole guarantee)
+# ----------------------------------------------------------------------
+
+class TestResumeBitIdentity:
+
+    @pytest.mark.parametrize("fast_loop", [True, False],
+                             ids=["fast", "naive"])
+    @pytest.mark.parametrize("kind", PrefetcherKind.ALL)
+    def test_every_variant_resumes_identically(self, kind, fast_loop):
+        """Fuzz: arbitrary snapshot cadence, arbitrary resume points."""
+        rng = random.Random(1000 * fast_loop
+                            + PrefetcherKind.ALL.index(kind))
+        interval = rng.randrange(150, 700)
+        config = _config(kind, checkpoint_interval=interval)
+        ref, states = _reference(config, fast_loop)
+        assert states, "trace too short to ever snapshot"
+        for state in rng.sample(states, min(3, len(states))):
+            assert _resume(config, state, fast_loop) == ref
+
+    def test_resume_crosses_engines(self):
+        """A snapshot taken under one engine resumes under the other."""
+        config = _config(checkpoint_interval=400)
+        ref, fast_states = _reference(config, True)
+        naive_ref, naive_states = _reference(config, False)
+        assert naive_ref == ref
+        mid = fast_states[len(fast_states) // 2]
+        assert _resume(config, mid, False) == ref
+        assert _resume(config, naive_states[len(naive_states) // 2],
+                       True) == ref
+
+    def test_resume_inside_warmup_region(self):
+        """Snapshots before the measurement reset still resume exactly."""
+        config = _config(checkpoint_interval=250,
+                         warmup_instructions=LENGTH // 2)
+        ref, states = _reference(config, True)
+        assert _resume(config, states[0], True) == ref
+        assert _resume(config, states[-1], True) == ref
+
+
+# ----------------------------------------------------------------------
+# CheckpointManager: format, rotation, corruption, identity
+# ----------------------------------------------------------------------
+
+def _state(cycle: int, **extra) -> dict:
+    return {"cycle": cycle, "retired": cycle // 2, **extra}
+
+
+class TestCheckpointManager:
+
+    def test_write_load_roundtrip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        state = _state(5, payload=[1, 2, {"a": None}])
+        path = manager.write(state)
+        assert path.exists()
+        assert manager.load(path) == state
+        assert manager.latest() == state
+
+    def test_rotation_keeps_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for cycle in (10, 20, 30, 40):
+            manager.write(_state(cycle))
+        names = [p.name for p in manager.snapshots()]
+        assert names == ["ckpt-000000000030.ckpt.json",
+                         "ckpt-000000000040.ckpt.json"]
+        assert manager.latest() == _state(40)
+        assert manager.written == 4
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_corrupt_snapshot_quarantined_and_skipped(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.write(_state(10))
+        newest = manager.write(_state(20))
+        newest.write_text("garbage, as if truncated mid-crash")
+        assert manager.latest() == _state(10)
+        assert manager.quarantined == 1
+        assert not newest.exists()
+        assert (tmp_path / QUARANTINE_DIR / newest.name).exists()
+
+    def test_checksum_mismatch_is_corruption(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.write(_state(10))
+        envelope = json.loads(path.read_text())
+        envelope["payload"] = json.dumps(_state(99))
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="checksum"):
+            manager.load(path)
+        assert manager.latest() is None
+        assert manager.quarantined == 1
+
+    def test_version_mismatch_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.write(_state(10))
+        envelope = json.loads(path.read_text())
+        envelope["version"] = 99
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="version"):
+            manager.latest()
+
+    def test_identity_mismatch_raises_not_resumes(self, tmp_path):
+        theirs = CheckpointManager(tmp_path, meta={"trace": "a", "seed": 1})
+        theirs.write(_state(10))
+        ours = CheckpointManager(tmp_path, meta={"trace": "b", "seed": 1})
+        with pytest.raises(CheckpointError, match="different run"):
+            ours.latest()
+
+    def test_snapshot_meta_ignores_engine_and_cadence(self):
+        config = _config()
+        base = snapshot_meta(_TRACE, config)
+        varied = snapshot_meta(_TRACE, config.replace(
+            fast_loop=False, checkpoint_interval=123,
+            watchdog_interval=456))
+        assert varied == base
+        other = snapshot_meta(_TRACE, _config(PrefetcherKind.NLP))
+        assert other["config_digest"] != base["config_digest"]
+
+    def test_heartbeat_written_and_seeds_totals(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.write(_state(10))
+        manager.write(_state(20))
+        beat = read_heartbeat(tmp_path)
+        assert beat["cycle"] == 20
+        assert beat["retired"] == 10
+        assert beat["snapshots"] == 2
+        # A later attempt in the same directory (the killed worker's
+        # retry) keeps counting from where the last one died.
+        retry = CheckpointManager(tmp_path)
+        assert retry.written == 2
+        retry.write(_state(30))
+        assert read_heartbeat(tmp_path)["snapshots"] == 3
+
+    def test_clear_drops_snapshots_and_heartbeat(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.write(_state(10))
+        manager.clear()
+        assert manager.snapshots() == []
+        assert read_heartbeat(tmp_path) is None
+
+
+# ----------------------------------------------------------------------
+# run_with_checkpoints: the one-call resumable run
+# ----------------------------------------------------------------------
+
+class TestRunWithCheckpoints:
+
+    def test_clean_run_writes_summary_and_cleans_up(self, tmp_path):
+        config = _config(checkpoint_interval=500)
+        ref, _ = _reference(config, True)
+        run = run_with_checkpoints(_TRACE, config, directory=tmp_path)
+        assert run.result == ref
+        assert run.snapshots_written > 0
+        assert run.resumed_from_cycle is None
+        assert list(tmp_path.glob("ckpt-*.ckpt.json")) == []
+        summary = read_summary(tmp_path)
+        assert summary["snapshots"] == run.snapshots_written
+        assert summary["resumed_from_cycle"] is None
+
+    def test_resumes_from_snapshot_on_disk(self, tmp_path):
+        config = _config(checkpoint_interval=400)
+        ref, states = _reference(config, True)
+        seed_mgr = CheckpointManager(tmp_path,
+                                     meta=snapshot_meta(_TRACE, config))
+        seed_mgr.write(states[1])
+        run = run_with_checkpoints(_TRACE, config, directory=tmp_path)
+        assert run.result == ref
+        assert run.resumed_from_cycle == states[1]["cycle"]
+        assert read_summary(tmp_path)["resumed_from_cycle"] \
+            == states[1]["cycle"]
+
+    def test_refuses_other_runs_snapshots(self, tmp_path):
+        config = _config(checkpoint_interval=400)
+        _, states = _reference(config, True)
+        seed_mgr = CheckpointManager(tmp_path,
+                                     meta=snapshot_meta(_TRACE, config))
+        seed_mgr.write(states[0])
+        other = _config(PrefetcherKind.STREAM, checkpoint_interval=400)
+        with pytest.raises(CheckpointError, match="different run"):
+            run_with_checkpoints(_TRACE, other, directory=tmp_path)
+
+    def test_resume_false_ignores_snapshots(self, tmp_path):
+        config = _config(checkpoint_interval=400)
+        ref, states = _reference(config, True)
+        seed_mgr = CheckpointManager(tmp_path,
+                                     meta=snapshot_meta(_TRACE, config))
+        seed_mgr.write(states[1])
+        run = run_with_checkpoints(_TRACE, config, directory=tmp_path,
+                                   resume=False)
+        assert run.result == ref
+        assert run.resumed_from_cycle is None
+
+
+# ----------------------------------------------------------------------
+# No-progress watchdog
+# ----------------------------------------------------------------------
+
+class TestWatchdog:
+
+    @pytest.mark.parametrize("fast_loop", [True, False],
+                             ids=["fast", "naive"])
+    def test_fires_with_state_dump(self, fast_loop):
+        # Nothing retires in the first few cycles (fill latency), so a
+        # 2-cycle watchdog converts that into the typed stall error any
+        # genuine livelock would produce.
+        config = _config(watchdog_interval=2)
+        sim = Simulator(_TRACE, config, fast_loop=fast_loop)
+        with pytest.raises(WatchdogStallError) as info:
+            sim.run()
+        err = info.value
+        assert err.retired == 0
+        assert err.cycle >= err.interval == 2
+        assert err.state, "stall error must carry a machine-state dump"
+
+    def test_quiet_on_progressing_run(self):
+        config = _config(watchdog_interval=10_000)
+        ref, _ = _reference(config.replace(checkpoint_interval=500), True)
+        sim = Simulator(_TRACE, config, fast_loop=True)
+        assert sim.run() == ref
+
+
+# ----------------------------------------------------------------------
+# Supervisor: slow-but-progressing vs stuck
+# ----------------------------------------------------------------------
+
+class TestStallDiscrimination:
+
+    def test_progressing_worker_outlives_its_timeout(self, tmp_path):
+        progress_file = tmp_path / "progress"
+
+        def probe(key):
+            try:
+                return progress_file.read_text()
+            except OSError:
+                return None
+
+        policy = RetryPolicy(max_retries=0, point_timeout=0.4,
+                             backoff_base=0.0)
+        outcome = run_supervised(
+            _faulty.slow_progress,
+            [("p", (str(tmp_path / "count"), str(progress_file),
+                    10, 0.15, "done"))],
+            processes=2, policy=policy, progress=probe)
+        assert outcome.results == {"p": "done"}
+        assert outcome.counters["stalls"] >= 1
+        assert outcome.counters["timeouts"] == 0
+        assert _faulty.read_count(str(tmp_path / "count")) == 1
+
+    def test_stuck_worker_still_killed(self, tmp_path):
+        counter = str(tmp_path / "count")
+        policy = RetryPolicy(max_retries=1, point_timeout=0.5,
+                             backoff_base=0.0)
+        outcome = run_supervised(
+            _faulty.hang_then_ok, [("p", (counter, 1, "woke", 30.0))],
+            processes=2, policy=policy,
+            progress=lambda key: "frozen")
+        assert outcome.results == {"p": "woke"}
+        assert outcome.counters["timeouts"] >= 1
+        assert outcome.counters["stalls"] == 0

@@ -1,0 +1,67 @@
+"""SIGKILL-and-resume drills through the real execution paths.
+
+``REPRO_CHECKPOINT_KILL_AFTER=N`` makes a worker SIGKILL itself right
+after its N-th machine snapshot (once per checkpoint directory), so
+these tests kill real pool workers mid-run and assert the supervised
+retry resumes from the snapshot — and that the final results are
+bit-identical to a never-killed run.  This is the closest the suite
+gets to yanking the power cord.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PrefetchConfig, PrefetcherKind, SimConfig
+from repro.harness.parallel import parallel_sweep
+from repro.harness.shard_runner import run_sharded
+from repro.sim.checkpoint import KILL_AFTER_ENV
+from repro.workloads import build_trace
+
+LENGTH = 2500
+
+
+def _config(kind: str = PrefetcherKind.FDIP, **changes) -> SimConfig:
+    config = SimConfig(prefetch=PrefetchConfig(kind=kind))
+    return config.replace(**changes) if changes else config
+
+
+@pytest.mark.slow
+def test_sweep_survives_sigkill_with_identical_results(tmp_path,
+                                                       monkeypatch):
+    points = [("gcc_like", _config(PrefetcherKind.NONE)),
+              ("gcc_like", _config(PrefetcherKind.FDIP))]
+
+    clean = parallel_sweep(points, trace_length=LENGTH, seed=3,
+                           processes=1)
+    assert clean.ok
+
+    monkeypatch.setenv(KILL_AFTER_ENV, "2")
+    drilled = parallel_sweep(points, trace_length=LENGTH, seed=3,
+                             processes=2, max_retries=2,
+                             machine_checkpoints=tmp_path / "mc",
+                             checkpoint_interval=500)
+    assert drilled.ok, [f.message for f in drilled.failures]
+    for point in points:
+        assert drilled[point] == clean[point]
+    # Every point was killed once and came back from a snapshot.
+    assert drilled.counters["crashes"] >= 1
+    assert drilled.counters["ckpt_resumes"] >= 1
+    assert drilled.counters["snapshots"] > 0
+
+
+@pytest.mark.slow
+def test_sharded_run_survives_sigkill(tmp_path, monkeypatch):
+    trace = build_trace("gcc_like", LENGTH, seed=5)
+    config = _config(checkpoint_interval=400)
+
+    clean = run_sharded(trace, config, shards=3, processes=1)
+
+    monkeypatch.setenv(KILL_AFTER_ENV, "1")
+    drilled = run_sharded(trace, config, shards=3, processes=2,
+                          max_retries=2,
+                          checkpoint_dir=str(tmp_path / "shards"))
+    assert drilled == clean
+    # Each shard directory ran its own crash drill.
+    markers = list((tmp_path / "shards").glob("shard*/crash-drill.done"))
+    assert len(markers) == 3

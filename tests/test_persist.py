@@ -128,6 +128,21 @@ class TestResultStore:
         assert store.load("w", config, 1000, 1) is None
         assert not victim.exists()
 
+    def test_undecodable_entry_quarantined(self, tmp_path):
+        # A flipped byte can break UTF-8 itself, not just the JSON or
+        # the checksum; that must quarantine too, never raise.
+        store = ResultStore(tmp_path)
+        config = technique_config("none")
+        store.store("w", config, 1000, 1, make_result())
+        victim = next(tmp_path.glob("*.result.json"))
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] = 0xA3
+        victim.write_bytes(bytes(blob))
+        assert store.load("w", config, 1000, 1) is None
+        assert not victim.exists()
+        assert store.quarantined == 1
+        assert [p.name for p in store.quarantined_files()] == [victim.name]
+
     def test_clear(self, tmp_path):
         store = ResultStore(tmp_path)
         store.store("w", technique_config("none"), 1000, 1, make_result())

@@ -118,6 +118,52 @@ class TestTraceIO:
         with pytest.raises(TraceError):
             read_trace(path)
 
+    def test_truncation_error_reports_byte_offset(self, tmp_path,
+                                                  small_trace):
+        path = tmp_path / "t.trace.gz"
+        write_trace(small_trace, path)
+        payload = gzip.decompress(path.read_bytes())
+        header_line, _, records = payload.partition(b"\n")
+        # Keep 3 complete records plus half of a fourth.
+        cut = len(header_line) + 1 + 3 * 18 + 9
+        with gzip.open(path, "wb") as out:
+            out.write(payload[:cut])
+        with pytest.raises(TraceError) as info:
+            read_trace(path)
+        message = str(info.value)
+        assert "only 3 are complete" in message
+        assert f"record boundary at {len(header_line) + 1 + 3 * 18}" \
+            in message
+
+    def test_rejects_trailing_data(self, tmp_path, small_trace):
+        path = tmp_path / "t.trace.gz"
+        write_trace(small_trace, path)
+        payload = gzip.decompress(path.read_bytes())
+        with gzip.open(path, "wb") as out:
+            out.write(payload + b"\x00" * 18)
+        with pytest.raises(TraceError, match="trailing data"):
+            read_trace(path)
+
+    def test_rejects_invalid_count(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        with gzip.open(path, "wb") as out:
+            out.write(b'{"magic": "repro-trace", "version": 1, '
+                      b'"name": "x", "seed": 0, "count": -3}\n')
+        with pytest.raises(TraceError, match="count"):
+            read_trace(path)
+
+    def test_rejects_corrupt_record_payload(self, tmp_path, small_trace):
+        path = tmp_path / "t.trace.gz"
+        write_trace(small_trace, path)
+        payload = bytearray(gzip.decompress(path.read_bytes()))
+        # Overwrite the first record's kind byte with a non-kind value.
+        kind_at = payload.index(b"\n") + 1 + 8
+        payload[kind_at] = 0xEE
+        with gzip.open(path, "wb") as out:
+            out.write(bytes(payload))
+        with pytest.raises(TraceError, match="corrupt record payload"):
+            read_trace(path)
+
 
 class TestCharacterize:
     def test_counts_and_fractions(self, tb):
