@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast lint typecheck bench bench-full perf report calibrate clean
+.PHONY: install test test-fast lint typecheck bench bench-full perf report calibrate obs-smoke clean
 
 # Files under the typed surface: the telemetry spine, the component
 # protocol, and the stable API facade.
@@ -44,6 +44,12 @@ report:
 
 calibrate:
 	$(PY) -m repro calibrate
+
+# End-to-end observability contract: event log schema + correlation
+# ids, Perfetto-loadable trace export, profile buckets summing to the
+# cycle count, and bit-identical results with observability on.
+obs-smoke:
+	$(PY) scripts/obs_smoke.py
 
 clean:
 	rm -rf .trace_cache .result_cache benchmarks/results \

@@ -20,8 +20,11 @@ Quickstart::
     print(result.ipc, result.l1i_mpki)
 
 The stable programmatic surface lives in :mod:`repro.api`
-(:func:`simulate`, :func:`sweep`, :func:`~repro.api.make_runner`);
-``run_simulation`` remains as a deprecated alias of ``simulate``.
+(:func:`simulate`, :func:`sweep`, :func:`~repro.api.make_runner`).
+The long-deprecated ``run_simulation`` alias has been removed; call
+:func:`simulate` (same signature and behavior).  Structured
+observability — the event log, span tracing, and the cycle profiler —
+lives in :mod:`repro.obs` (see ``docs/observability.md``).
 """
 
 from repro.config import (
@@ -49,10 +52,11 @@ from repro.api import (
     TelemetrySnapshot,
     make_runner,
     merge_snapshots,
+    profile_run,
     simulate,
     sweep,
 )
-from repro.sim import SimResult, Simulator, run_simulation
+from repro.sim import SimResult, Simulator
 from repro.trace import Trace, TraceRecord, characterize
 
 __version__ = "0.1.0"
@@ -75,7 +79,7 @@ __all__ = [
     "simulate",
     "sweep",
     "make_runner",
-    "run_simulation",
+    "profile_run",
     # experiment specs
     "Point",
     "ExperimentSpec",
@@ -94,3 +98,17 @@ __all__ = [
     "GenerationError",
     "SimulationError",
 ]
+
+# Removed names get an AttributeError with a migration hint instead of
+# the bare "module has no attribute" — the cheapest possible docs.
+_REMOVED = {
+    "run_simulation": (
+        "repro.run_simulation was removed; call repro.simulate(trace, "
+        "config, name=...) instead (same signature and behavior)"),
+}
+
+
+def __getattr__(name: str):
+    if name in _REMOVED:
+        raise AttributeError(_REMOVED[name])
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -10,10 +10,13 @@ exposes a small surface:
 - :func:`make_runner` — construct the memoizing experiment
   :class:`~repro.harness.runner.Runner`;
 - :func:`sweep` — run many points fault-tolerantly in parallel, where
-  a point is a typed :class:`~repro.harness.spec.Point` (legacy
-  ``(workload, config)`` tuples remain accepted with a
-  :class:`DeprecationWarning`) and :class:`~repro.harness.spec.
-  ExperimentSpec` names a whole collection.
+  a point is a typed :class:`~repro.spec.Point` and
+  :class:`~repro.spec.ExperimentSpec` names a whole collection
+  (legacy ``(workload, config)`` tuples are rejected with a
+  :class:`~repro.errors.ConfigError` naming the replacement);
+- :func:`profile_run` — simulate one point with the cycle-attribution
+  profiler on and return ``(result, profile)`` (see
+  :mod:`repro.obs.profile`).
 
 Every :class:`~repro.sim.results.SimResult` carries the full
 hierarchical telemetry tree on ``result.telemetry`` (a
@@ -32,8 +35,8 @@ package::
     result = simulate(trace, SimConfig(prefetch=PrefetchConfig(
         kind="fdip", filter_mode="enqueue")))
 
-The legacy ``repro.run_simulation`` remains as a deprecated alias of
-:func:`simulate`.
+The long-deprecated ``repro.run_simulation`` alias has been removed;
+:func:`simulate` is the one way to run a single point.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from typing import TYPE_CHECKING
 
 from repro.config import SimConfig
 from repro.errors import ConfigError
+from repro.obs.profile import profile_run  # noqa: F401  (re-exported)
 from repro.sim.results import SimResult
 from repro.spec import (  # noqa: F401  (re-exported)
     ExperimentSpec,
@@ -56,7 +60,7 @@ if TYPE_CHECKING:
     from repro.harness.parallel import SweepOutcome
     from repro.harness.runner import Runner
 
-__all__ = ["simulate", "make_runner", "sweep",
+__all__ = ["simulate", "make_runner", "sweep", "profile_run",
            "Point", "ExperimentSpec",
            "TelemetryNode", "TelemetrySnapshot", "merge_snapshots"]
 
@@ -124,7 +128,7 @@ def make_runner(trace_length: int | None = None, seed: int = 1,
                   shard_overlap=shard_overlap, processes=processes)
 
 
-def sweep(points: "list[Point | tuple[str, SimConfig]] | ExperimentSpec",
+def sweep(points: "list[Point] | ExperimentSpec",
           *, trace_length: int | None = None, seed: int = 1,
           warmup_fraction: float = 0.2, processes: int | None = None,
           max_retries: int = 2, point_timeout: float | None = None,
@@ -133,9 +137,9 @@ def sweep(points: "list[Point | tuple[str, SimConfig]] | ExperimentSpec",
           shard_overlap: int | None = None) -> "SweepOutcome":
     """Run many sweep points fault-tolerantly.
 
-    ``points`` is a list of typed :class:`~repro.spec.Point` objects,
-    an :class:`~repro.spec.ExperimentSpec`, or legacy ``(workload,
-    config)`` tuples (deprecated; warns once per process).  Fans out
+    ``points`` is a list of typed :class:`~repro.spec.Point` objects
+    or an :class:`~repro.spec.ExperimentSpec` (legacy ``(workload,
+    config)`` tuples are rejected with a ``ConfigError``).  Fans out
     across ``processes`` workers with per-point retries, optional
     timeouts, and checkpoint/resume — the same machinery the experiment
     harness uses (see :meth:`repro.harness.runner.Runner.sweep`).

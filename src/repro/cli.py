@@ -12,6 +12,7 @@ Subcommands::
     python -m repro sweep -t none fdip_enqueue   # fault-tolerant sweep
     python -m repro shard -w gcc_like --shards 4 # sharded single trace
     python -m repro perf                         # fast-loop throughput
+    python -m repro profile -w gcc_like          # cycle attribution
 
 Every subcommand accepts ``--length`` (alias ``--trace-length``) and
 ``--seed``; the pool-backed subcommands (``sweep``, ``stats``,
@@ -23,6 +24,14 @@ dumps the full hierarchical telemetry tree — human table by default,
 the versioned snapshot schema with ``--json``, flat
 ``path,counter,value`` rows with ``--csv``, and per-window interval
 series (``--window N``) alongside.
+
+Observability (see ``docs/observability.md``): ``run``, ``stats``,
+``sweep``, ``shard``, and ``profile`` share ``--log-file`` /
+``--log-stderr`` (structured ``repro.events/v1`` JSONL, inherited by
+worker processes) and ``--trace-export`` (convert the event log into
+Chrome trace-event JSON loadable in Perfetto).  ``profile`` and
+``stats --profile`` report the per-component cycle-attribution
+breakdown.
 """
 
 from __future__ import annotations
@@ -43,8 +52,11 @@ from repro.harness import (
     parallel_sweep,
     technique_config,
 )
-from repro.api import simulate
+from repro.api import profile_run, simulate
 from repro.harness.report import generate_report
+from repro.obs import events as obs_events
+from repro.obs.profile import CATEGORIES as PROFILE_CATEGORIES
+from repro.obs.spans import export_chrome_trace
 from repro.stats import IntervalSeries, format_table, rows_to_csv, \
     telemetry_table
 from repro.trace import characterize
@@ -104,6 +116,22 @@ def _checkpoint_flags() -> argparse.ArgumentParser:
     return parent
 
 
+def _obs_flags() -> argparse.ArgumentParser:
+    """Shared observability parent parser (run/stats/sweep/shard/profile)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--log-file", default=None, metavar="JSONL",
+                        help="append structured repro.events/v1 events "
+                             "to this JSON-lines file (worker processes "
+                             "inherit the sink)")
+    parent.add_argument("--log-stderr", action="store_true",
+                        help="mirror structured events to stderr")
+    parent.add_argument("--trace-export", default=None, metavar="JSON",
+                        help="after the command, convert the event log "
+                             "into Chrome trace-event JSON (loadable in "
+                             "Perfetto); implies an event log")
+    return parent
+
+
 def _length(args: argparse.Namespace,
             fallback: int = _DEFAULT_LENGTH) -> int:
     return args.length if args.length is not None else fallback
@@ -130,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_flags = _trace_flags()
     pool_flags = _pool_flags()
     checkpoint_flags = _checkpoint_flags()
+    obs_flags = _obs_flags()
 
     sub.add_parser("list", help="list workloads and techniques")
 
@@ -138,7 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("-w", "--workload", required=True,
                         choices=ALL_WORKLOADS)
 
-    p_run = sub.add_parser("run", parents=[trace_flags, checkpoint_flags],
+    p_run = sub.add_parser("run",
+                           parents=[trace_flags, checkpoint_flags,
+                                    obs_flags],
                            help="run one simulation")
     p_run.add_argument("-w", "--workload", required=True,
                        choices=ALL_WORKLOADS)
@@ -158,7 +189,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "(written under --machine-checkpoint-dir)")
 
     p_stats = sub.add_parser(
-        "stats", parents=[trace_flags, pool_flags, checkpoint_flags],
+        "stats",
+        parents=[trace_flags, pool_flags, checkpoint_flags, obs_flags],
         help="run one simulation, dump the hierarchical telemetry tree")
     p_stats.add_argument("-w", "--workload", required=True,
                          choices=ALL_WORKLOADS)
@@ -185,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--shard-overlap", type=int, default=None,
                          help="timed warm-up overlap per shard "
                               "(instructions)")
+    p_stats.add_argument("--profile", action="store_true",
+                         help="also report the per-component "
+                              "cycle-attribution profile (monolithic "
+                              "runs only)")
 
     p_exp = sub.add_parser("experiment", parents=[trace_flags],
                            help="regenerate one experiment")
@@ -200,7 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one profile (default: the whole suite)")
 
     p_sw = sub.add_parser(
-        "sweep", parents=[trace_flags, pool_flags],
+        "sweep", parents=[trace_flags, pool_flags, obs_flags],
         help="fault-tolerant parallel sweep over workloads x techniques")
     p_sw.add_argument("-w", "--workloads", nargs="+", default=None,
                       choices=ALL_WORKLOADS,
@@ -223,7 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="snapshot cadence for --machine-checkpoints")
 
     p_shard = sub.add_parser(
-        "shard", parents=[trace_flags, pool_flags],
+        "shard", parents=[trace_flags, pool_flags, obs_flags],
         help="simulate one trace as K merged windows "
              "(sharded execution)")
     p_shard.add_argument("-w", "--workload", required=True,
@@ -253,6 +289,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "accuracy table instead of one run")
     p_shard.add_argument("--json", action="store_true",
                          help="emit metrics + shard provenance as JSON")
+
+    p_prof = sub.add_parser(
+        "profile", parents=[trace_flags, obs_flags],
+        help="run one simulation, report the per-component "
+             "cycle-attribution breakdown")
+    p_prof.add_argument("-w", "--workload", required=True,
+                        choices=ALL_WORKLOADS)
+    p_prof.add_argument("-p", "--prefetcher",
+                        default=PrefetcherKind.FDIP,
+                        choices=PrefetcherKind.ALL)
+    p_prof.add_argument("-f", "--filter", default=FilterMode.ENQUEUE,
+                        choices=FilterMode.ALL,
+                        help="cache probe filtering mode (fdip only)")
+    p_prof.add_argument("--warmup", type=int, default=0)
+    p_prof.add_argument("--naive-loop", action="store_true",
+                        help="profile under the naive cycle loop "
+                             "(the profile is identical either way)")
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the repro.profile/v1 document")
 
     p_perf = sub.add_parser(
         "perf", parents=[trace_flags, pool_flags],
@@ -398,6 +453,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.window:
         config = config.replace(telemetry_window=args.window)
     config = _apply_robustness_flags(config, args)
+    if args.profile and args.shards > 1:
+        print("error: --profile needs a monolithic run; drop --shards",
+              file=sys.stderr)
+        return 2
+    if args.profile and args.machine_checkpoint_dir:
+        print("error: --profile does not compose with "
+              "--machine-checkpoint-dir; profile a plain run",
+              file=sys.stderr)
+        return 2
+    if args.profile and args.csv:
+        print("error: the profile has no CSV form; use --json or the "
+              "human table", file=sys.stderr)
+        return 2
+    profile = None
     if args.shards > 1:
         from repro.harness.shard_runner import run_sharded
 
@@ -418,6 +487,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
               + (f", resumed from cycle {run.resumed_from_cycle}"
                  if run.resumed_from_cycle is not None else ""),
               file=sys.stderr)
+    elif args.profile:
+        result, profile = profile_run(trace, config, name=args.workload)
     else:
         result = simulate(trace, config)
     snapshot = result.telemetry
@@ -432,7 +503,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                           snapshot.intervals.rows()), end="")
         return 0
     if args.json:
-        print(snapshot.to_json(indent=2))
+        if profile is not None:
+            payload = json.loads(snapshot.to_json())
+            payload["profile"] = profile
+            print(json.dumps(payload, indent=2))
+        else:
+            print(snapshot.to_json(indent=2))
         return 0
     if args.csv:
         print(rows_to_csv(snapshot.counter_headers(),
@@ -445,6 +521,45 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             IntervalSeries.headers(), snapshot.intervals.rows(),
             title=f"interval series (window "
                   f"{snapshot.intervals.window} cycles)"))
+    if profile is not None:
+        print()
+        _print_profile(profile,
+                       title=f"cycle attribution ({args.workload})")
+    return 0
+
+
+def _print_profile(profile: dict, *, title: str) -> None:
+    """Render a ``repro.profile/v1`` document as a human table."""
+    buckets = profile["buckets"]
+    total = max(profile["cycles"], 1)
+    rows: list[list[object]] = [
+        [component, name, buckets[name],
+         f"{buckets[name] / total * 100:5.1f}%"]
+        for name, component in PROFILE_CATEGORIES
+        if buckets.get(name, 0) > 0]
+    rows.append(["total", "", profile["cycles"], "100.0%"])
+    print(format_table(["component", "cause", "cycles", "share"],
+                       rows, title=title))
+    bus_busy = (profile.get("overlap") or {}).get("bus_busy")
+    if bus_busy is not None:
+        print(f"bus busy (overlaps the buckets above): {bus_busy} "
+              f"cycles ({bus_busy / total * 100:.1f}%)")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    trace = build_trace(args.workload, _length(args), seed=args.seed)
+    config = technique_config(_technique_name(args), SimConfig())
+    if args.warmup:
+        config = config.replace(warmup_instructions=args.warmup)
+    result, profile = profile_run(trace, config, name=args.workload,
+                                  fast_loop=not args.naive_loop)
+    if args.json:
+        print(json.dumps(profile, indent=2))
+        return 0
+    _print_profile(
+        profile,
+        title=f"{args.workload} / {_technique_name(args)} "
+              f"(ipc {result.ipc:.4f}, {result.cycles} cycles)")
     return 0
 
 
@@ -659,32 +774,85 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "shard":
+        return _cmd_shard(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _configure_obs(args: argparse.Namespace
+                   ) -> tuple[str | None, bool, bool]:
+    """Set up structured event logging from the shared obs flags.
+
+    Returns ``(events_path, temporary, configured)``: the JSONL path
+    that will feed a later ``--trace-export`` (``--trace-export``
+    without ``--log-file`` logs to a temporary file we own and delete),
+    and whether this process configured logging (and so should reset it
+    on the way out — env-adopted logging is left alone).
+    """
+    log_file = getattr(args, "log_file", None)
+    log_stderr = bool(getattr(args, "log_stderr", False))
+    trace_export = getattr(args, "trace_export", None)
+    temporary = False
+    if trace_export and not log_file:
+        import tempfile
+
+        fd, log_file = tempfile.mkstemp(prefix="repro-events-",
+                                        suffix=".jsonl")
+        import os
+
+        os.close(fd)
+        temporary = True
+    if log_file or log_stderr:
+        obs_events.configure_logging(file=log_file, stderr=log_stderr)
+        return log_file, temporary, True
+    return log_file, temporary, False
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        if args.command == "list":
-            return _cmd_list()
-        if args.command == "characterize":
-            return _cmd_characterize(args)
-        if args.command == "run":
-            return _cmd_run(args)
-        if args.command == "stats":
-            return _cmd_stats(args)
-        if args.command == "experiment":
-            return _cmd_experiment(args)
-        if args.command == "calibrate":
-            return _cmd_calibrate(args)
-        if args.command == "sweep":
-            return _cmd_sweep(args)
-        if args.command == "shard":
-            return _cmd_shard(args)
-        if args.command == "perf":
-            return _cmd_perf(args)
-        if args.command == "report":
-            return _cmd_report(args)
+        events_path, temporary, configured = _configure_obs(args)
+        try:
+            code = _dispatch(args)
+            trace_export = getattr(args, "trace_export", None)
+            if trace_export and events_path:
+                count = export_chrome_trace(events_path, trace_export)
+                print(f"wrote {trace_export} ({count} trace events)",
+                      file=sys.stderr)
+            return code
+        finally:
+            if configured:
+                obs_events.reset_logging()
+            if temporary:
+                import os
+
+                try:
+                    os.remove(events_path)
+                except OSError:
+                    pass
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    raise AssertionError(f"unhandled command {args.command!r}")

@@ -15,6 +15,7 @@ by a unified L2 over a shared bus, a 32-entry fetch target queue, and a
 from __future__ import annotations
 
 import dataclasses
+import difflib
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -344,6 +345,15 @@ class SimConfig:
     # consecutive cycles, raise WatchdogStallError with a state dump
     # instead of spinning until the cycle cap (0 disables).
     watchdog_interval: int = 0
+    # Cycle-attribution profiling: classify every simulated cycle into
+    # a per-component stall bucket (see repro.obs.profile).  The
+    # profile lives outside the telemetry snapshot, so the SimResult
+    # is bit-identical with profiling on or off, under either engine.
+    profile: bool = False
+    # Structured event log: append this run's lifecycle events
+    # (run start/end, warmup boundary, watchdog stalls, checkpoints)
+    # to the given JSONL file (see repro.obs.events; None disables).
+    event_log: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_instructions is not None:
@@ -359,6 +369,12 @@ class SimConfig:
                  "checkpoint_interval must be >= 0")
         _require(self.watchdog_interval >= 0,
                  "watchdog_interval must be >= 0")
+        _require(isinstance(self.profile, bool),
+                 "profile must be a bool")
+        if self.event_log is not None:
+            _require(isinstance(self.event_log, str)
+                     and bool(self.event_log),
+                     "event_log must be a non-empty path or None")
         if self.max_cycles is not None:
             _require(self.max_cycles >= 1, "max_cycles must be >= 1")
 
@@ -446,9 +462,12 @@ def config_from_dict(cls: type, data: dict, _path: str = "") -> object:
     unknown = sorted(set(data) - known)
     if unknown:
         prefix = f"{_path}." if _path else ""
+        close = difflib.get_close_matches(unknown[0], sorted(known), n=1,
+                                          cutoff=0.6)
+        hint = (f" (did you mean '{prefix}{close[0]}'?)" if close else "")
         raise ConfigError(
-            f"unknown config key '{prefix}{unknown[0]}'; valid keys: "
-            f"{', '.join(sorted(known))}")
+            f"unknown config key '{prefix}{unknown[0]}'{hint}; "
+            f"valid keys: {', '.join(sorted(known))}")
     nested = _nested_fields(cls)
     kwargs: dict = {}
     for name, value in data.items():

@@ -22,6 +22,9 @@ __all__ = [
     "trace_length_override",
     "full_run_requested",
     "result_cache_dir",
+    "log_file",
+    "log_stderr",
+    "log_run_id",
 ]
 
 
@@ -78,3 +81,41 @@ def result_cache_dir() -> str | None:
             f"REPRO_RESULT_CACHE must name a directory, but {raw!r} "
             f"exists and is not one")
     return raw
+
+
+def log_file() -> str | None:
+    """``REPRO_LOG_FILE``: the structured event log's JSONL path, or None.
+
+    An existing *directory* at the path raises :class:`ConfigError`
+    (the log is a file; appending to a directory would fail on the
+    first event, deep inside a worker).
+    """
+    raw = _raw("REPRO_LOG_FILE")
+    if raw is None:
+        return None
+    if Path(raw).is_dir():
+        raise ConfigError(
+            f"REPRO_LOG_FILE must name a file, but {raw!r} is a "
+            f"directory")
+    return raw
+
+
+def log_stderr() -> bool:
+    """Whether ``REPRO_LOG_STDERR=1`` mirrors events to stderr.
+
+    Same strictness as ``REPRO_FULL``: only ``"1"`` enables and only
+    ``"0"``/unset/empty disable; anything else raises
+    :class:`ConfigError`.
+    """
+    raw = os.environ.get("REPRO_LOG_STDERR")
+    if raw in (None, "", "0"):
+        return False
+    if raw == "1":
+        return True
+    raise ConfigError(
+        f"REPRO_LOG_STDERR must be '0' or '1', got {raw!r}")
+
+
+def log_run_id() -> str | None:
+    """``REPRO_LOG_RUN_ID``: the inherited run correlation id, or None."""
+    return _raw("REPRO_LOG_RUN_ID")

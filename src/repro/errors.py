@@ -104,6 +104,17 @@ class WatchdogStallError(SimulationError):
             f"retired {retired}); machine state: {self.state}")
 
 
+class ObservabilityError(ReproError):
+    """The structured-observability layer was misused or fed bad data.
+
+    Raised for malformed event-log lines or Chrome-trace files, unknown
+    event kinds or correlation fields, and invalid ``REPRO_LOG_*``
+    values.  Never raised on the emission fast path once configured —
+    a sink that stops accepting writes degrades silently instead of
+    killing the simulation it observes.
+    """
+
+
 class CacheCorruptionError(ReproError):
     """A persisted cache entry is corrupt (truncated, garbled, or failing
     its content checksum); the entry has been quarantined, not deleted."""

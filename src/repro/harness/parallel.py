@@ -43,9 +43,10 @@ from repro.harness.supervise import (
     run_supervised,
 )
 # Bound as a module-level name (rather than called through repro.api)
-# so tests can monkeypatch `repro.harness.parallel.run_simulation`.
-from repro.api import simulate as run_simulation
+# so tests can monkeypatch `repro.harness.parallel.simulate`.
+from repro.api import simulate
 from repro.errors import ReproError, RetryExhaustedError
+from repro.obs import events as obs_events
 from repro.sim import SimResult, guard_invariants
 from repro.stats.sweep import merge_counters, summary_line
 from repro.workloads import build_trace
@@ -157,7 +158,7 @@ def _run_point(workload: str, config: SimConfig, trace_length: int,
                                       directory=checkpoint_dir,
                                       name=workload).result
     else:
-        result = run_simulation(trace, config, name=workload)
+        result = simulate(trace, config, name=workload)
     if verify_invariants:
         guard_invariants(result,
                          warmed_up=config.warmup_instructions > 0,
@@ -321,6 +322,9 @@ def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
         # No parallelism to exploit; skip the pool (the worker is trusted
         # simulator code, so inline execution is safe).
         processes = 1
+    obs_events.emit("sweep_start", data={
+        "points": len(unique), "todo": len(todo), "resumed": resumed,
+        "trace_length": trace_length, "seed": seed})
     supervised = run_supervised(_run_point, todo, processes=processes,
                                 policy=policy, on_success=on_success,
                                 on_failure=on_failure, progress=progress)
@@ -328,4 +332,5 @@ def parallel_sweep(points: list[SweepPoint], trace_length: int = 60_000,
     counters = merge_counters(supervised.counters,
                               {"points": len(unique), "resumed": resumed},
                               ckpt_counters)
+    obs_events.emit("sweep_end", data=dict(counters))
     return SweepOutcome(results, failures, counters)

@@ -32,6 +32,7 @@ import repro
 from repro.config import SimConfig
 from repro.errors import CacheCorruptionError
 from repro.fsutil import QUARANTINE_DIR, atomic_write_text, quarantine
+from repro.obs import events as obs_events
 from repro.sim import SimResult
 from repro.sim.serialize import result_from_json, result_to_json
 
@@ -104,15 +105,19 @@ class ResultStore:
             try:
                 _quarantine(path)
                 self.quarantined += 1
+                obs_events.emit("store_quarantine", data={
+                    "path": str(path), "reason": "not valid UTF-8"})
             except OSError:
                 pass
             return None
         try:
             return self._parse(path, text)
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 — corrupt entry, not fatal
             try:
                 _quarantine(path)
                 self.quarantined += 1
+                obs_events.emit("store_quarantine", data={
+                    "path": str(path), "reason": str(exc)})
             except OSError:
                 pass
             return None

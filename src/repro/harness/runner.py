@@ -19,8 +19,8 @@ import math
 
 from repro import env
 # Bound as a module-level name (rather than called through repro.api)
-# so tests can monkeypatch `repro.harness.runner.run_simulation`.
-from repro.api import simulate as run_simulation
+# so tests can monkeypatch `repro.harness.runner.simulate`.
+from repro.api import simulate
 from repro.config import SimConfig
 from repro.errors import RetryExhaustedError
 from repro.spec import Point, normalize_points
@@ -165,8 +165,8 @@ class Runner:
             if result is not None:
                 self._results[key] = result
         if result is None:
-            result = run_simulation(self.trace(workload), config,
-                                    name=workload)
+            result = simulate(self.trace(workload), config,
+                              name=workload)
             self._results[key] = result
             if self._store is not None:
                 self._store.store(workload, config, self.trace_length,

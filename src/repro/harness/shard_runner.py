@@ -30,6 +30,7 @@ from __future__ import annotations
 from repro.config import SimConfig
 from repro.errors import ConfigError
 from repro.harness.supervise import RetryPolicy, run_supervised
+from repro.obs import events as obs_events
 from repro.sim.results import SimResult
 from repro.sim.sharding import (
     ShardPlan,
@@ -62,8 +63,13 @@ def _run_shard_subtrace(records, name: str, seed: int, config_data: dict,
     trace = Trace(records, name=name, seed=seed)
     spec = ShardSpec(index=index, sim_start=sim_start, start=start,
                      stop=stop)
-    return run_one_shard(trace, config, spec, name=name, warm=warm,
-                         checkpoint_dir=checkpoint_dir)
+    with obs_events.obs_context(shard=index):
+        obs_events.emit("shard_start", data={
+            "name": name, "start": start, "stop": stop, "warm": warm})
+        snapshot = run_one_shard(trace, config, spec, name=name, warm=warm,
+                                 checkpoint_dir=checkpoint_dir)
+        obs_events.emit("shard_end", data={"name": name})
+    return snapshot
 
 
 def _run_shard_workload(workload: str, trace_length: int, seed: int,
@@ -78,8 +84,13 @@ def _run_shard_workload(workload: str, trace_length: int, seed: int,
     trace = build_trace(workload, trace_length, seed=seed)
     spec = ShardSpec(index=index, sim_start=sim_start, start=start,
                      stop=stop)
-    return run_one_shard(trace, config, spec, warm=warm,
-                         checkpoint_dir=checkpoint_dir)
+    with obs_events.obs_context(shard=index):
+        obs_events.emit("shard_start", data={
+            "name": workload, "start": start, "stop": stop, "warm": warm})
+        snapshot = run_one_shard(trace, config, spec, warm=warm,
+                                 checkpoint_dir=checkpoint_dir)
+        obs_events.emit("shard_end", data={"name": workload})
+    return snapshot
 
 
 def _collect(outcome, plan: ShardPlan) -> list[TelemetrySnapshot]:

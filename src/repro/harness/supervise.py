@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import PointTimeoutError, RetryExhaustedError
+from repro.obs import events as obs_events
 
 __all__ = [
     "RetryPolicy",
@@ -146,6 +147,19 @@ def _new_counters() -> dict[str, int]:
             "timeouts": 0, "stalls": 0, "crashes": 0, "rebuilds": 0}
 
 
+def _call_with_context(fn, key: str, attempt: int, args: tuple):
+    """Worker-side shim: bind the task's correlation ids, then run it.
+
+    Module-level so it pickles into the pool.  Everything the task
+    emits (``run_start``, ``checkpoint_written``, ...) then carries the
+    supervised ``point``/``attempt`` ids automatically; the sink
+    configuration itself rides over through the ``REPRO_LOG_*``
+    environment (see :mod:`repro.obs.events`).
+    """
+    with obs_events.obs_context(point=key, attempt=attempt):
+        return fn(*args)
+
+
 def run_supervised(fn: Callable[..., Any],
                    tasks: list[tuple[str, tuple]],
                    *,
@@ -187,20 +201,28 @@ def _run_inline(fn, tasks, policy, on_success, on_failure) -> SupervisedOutcome:
         attempt = 1
         while True:
             started = time.monotonic()
+            obs_events.emit("task_spawn", point=key, attempt=attempt,
+                            data={"inline": True})
             try:
-                value = fn(*args)
+                value = _call_with_context(fn, key, attempt, args)
             except Exception as exc:  # noqa: BLE001 — classify, don't die
+                duration = time.monotonic() - started
                 attempts.append(AttemptRecord(
-                    attempt, type(exc).__name__, str(exc),
-                    time.monotonic() - started))
+                    attempt, type(exc).__name__, str(exc), duration))
+                detail = {"error_type": type(exc).__name__,
+                          "message": str(exc), "duration": duration}
                 if attempt > policy.max_retries:
                     failure = TaskFailure(key, attempts)
                     failures[key] = failure
                     counters["failed"] += 1
+                    obs_events.emit("task_failed", point=key,
+                                    attempt=attempt, data=detail)
                     if on_failure is not None:
                         on_failure(key, failure)
                     break
                 counters["retried"] += 1
+                obs_events.emit("task_retry", point=key, attempt=attempt,
+                                data=detail)
                 delay = policy.backoff(key, attempt)
                 if delay:
                     time.sleep(delay)
@@ -208,6 +230,9 @@ def _run_inline(fn, tasks, policy, on_success, on_failure) -> SupervisedOutcome:
             else:
                 results[key] = value
                 counters["completed"] += 1
+                obs_events.emit(
+                    "task_done", point=key, attempt=attempt,
+                    data={"duration": time.monotonic() - started})
                 if on_success is not None:
                     on_success(key, value)
                 break
@@ -263,24 +288,38 @@ def _run_pooled(fn, tasks, processes, policy,
             return
         attempts[key].append(
             AttemptRecord(attempt, error_type, message, duration))
+        settle = None
         if error_type == PointTimeoutError.__name__:
             counters["timeouts"] += 1
+            settle = "task_timeout"
         elif error_type == "WorkerCrashError":
             counters["crashes"] += 1
+            obs_events.emit("worker_crash", point=key, attempt=attempt,
+                            data={"message": message})
+        detail = {"error_type": error_type, "message": message,
+                  "duration": duration}
         if attempt > policy.max_retries:
             failure = TaskFailure(key, attempts[key])
             failures[key] = failure
             counters["failed"] += 1
+            detail["final"] = True
+            obs_events.emit(settle or "task_failed", point=key,
+                            attempt=attempt, data=detail)
             if on_failure is not None:
                 on_failure(key, failure)
         else:
             counters["retried"] += 1
+            detail["final"] = False
+            obs_events.emit(settle or "task_retry", point=key,
+                            attempt=attempt, data=detail)
             ready = time.monotonic() + policy.backoff(key, attempt)
             pending.append(_Pending(key, args, attempt + 1, ready))
 
     def rebuild() -> None:
         nonlocal pool
         counters["rebuilds"] += 1
+        obs_events.emit("pool_rebuild",
+                        data={"rebuilds": counters["rebuilds"]})
         _kill_pool(pool)
         pool = ProcessPoolExecutor(max_workers=processes)
 
@@ -294,11 +333,16 @@ def _run_pooled(fn, tasks, processes, policy,
             deadline = (now + policy.point_timeout
                         if policy.point_timeout else None)
             try:
-                future = pool.submit(fn, *item.args)
+                future = pool.submit(_call_with_context, fn, item.key,
+                                     item.attempt, item.args)
             except BrokenProcessPool:
                 # Pool died between batches; rebuild and resubmit.
                 rebuild()
-                future = pool.submit(fn, *item.args)
+                future = pool.submit(_call_with_context, fn, item.key,
+                                     item.attempt, item.args)
+            obs_events.emit("task_spawn", point=item.key,
+                            attempt=item.attempt,
+                            data={"timeout": policy.point_timeout})
             inflight[future] = _InFlight(item.key, item.args, item.attempt,
                                          deadline, now,
                                          progress_token=probe(item.key))
@@ -340,6 +384,9 @@ def _run_pooled(fn, tasks, processes, policy,
                 else:
                     results[meta.key] = value
                     counters["completed"] += 1
+                    obs_events.emit("task_done", point=meta.key,
+                                    attempt=meta.attempt,
+                                    data={"duration": duration})
                     if on_success is not None:
                         on_success(meta.key, value)
 
@@ -369,6 +416,10 @@ def _run_pooled(fn, tasks, processes, policy,
                     meta.progress_token = token
                     meta.deadline = now + policy.point_timeout
                     counters["stalls"] += 1
+                    obs_events.emit(
+                        "task_stall", point=meta.key, attempt=meta.attempt,
+                        data={"elapsed": now - meta.started,
+                              "extended_by": policy.point_timeout})
                     continue
                 timed_out.append(future)
             if timed_out:

@@ -21,7 +21,7 @@ from repro.sim.serialize import (
     result_to_dict,
     result_to_json,
 )
-from repro.sim.simulator import Simulator, make_prefetcher, run_simulation
+from repro.sim.simulator import Simulator, make_prefetcher
 from repro.sim.checkpoint import (
     CheckpointManager,
     CheckpointedRun,
@@ -45,7 +45,6 @@ __all__ = [
     "merge_shard_snapshots",
     "sharded_result",
     "make_prefetcher",
-    "run_simulation",
     "check_invariants",
     "guard_invariants",
     "assert_invariants",
@@ -55,3 +54,12 @@ __all__ = [
     "result_to_json",
     "result_from_json",
 ]
+
+
+def __getattr__(name: str):
+    if name == "run_simulation":
+        raise AttributeError(
+            "repro.sim.run_simulation was removed; call "
+            "repro.simulate(trace, config, name=...) instead "
+            "(same signature and behavior)")
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

@@ -26,7 +26,8 @@ Identity metadata (:func:`snapshot_meta`) binds snapshots to the
 (trace, config, package version) that produced them.  The three config
 fields that provably do not affect the result — ``fast_loop``,
 ``checkpoint_interval``, ``watchdog_interval`` — are excluded from the
-digest, so a snapshot taken under one engine or cadence resumes cleanly
+digest (as are the observability fields ``profile`` and ``event_log``),
+so a snapshot taken under one engine or cadence resumes cleanly
 under another (resume is bit-identical either way; see
 ``tests/test_checkpoint.py``).
 
@@ -51,6 +52,7 @@ import repro
 from repro.config import SimConfig
 from repro.errors import CheckpointError
 from repro.fsutil import atomic_write_text, quarantine
+from repro.obs import events as obs_events
 from repro.sim.results import SimResult
 from repro.sim.simulator import Simulator
 from repro.trace import Trace
@@ -83,13 +85,14 @@ _KILL_MARKER = "crash-drill.done"
 def snapshot_meta(trace: Trace, config: SimConfig) -> dict:
     """Identity metadata binding snapshots to one (trace, config) run.
 
-    ``fast_loop``, ``checkpoint_interval``, and ``watchdog_interval``
-    are normalized out of the config digest: none of them affects the
-    simulated result, so snapshots stay resumable across engine and
-    cadence changes.
+    ``fast_loop``, ``checkpoint_interval``, ``watchdog_interval``,
+    ``profile``, and ``event_log`` are normalized out of the config
+    digest: none of them affects the simulated result, so snapshots
+    stay resumable across engine, cadence, and observability changes.
     """
     normalized = config.replace(fast_loop=True, checkpoint_interval=0,
-                                watchdog_interval=0)
+                                watchdog_interval=0, profile=False,
+                                event_log=None)
     digest = hashlib.sha256(repr(normalized).encode("utf-8")) \
         .hexdigest()[:16]
     return {
@@ -152,6 +155,10 @@ class CheckpointManager:
         atomic_write_text(self.directory, path, envelope, durable=True)
         self.written += 1
         self.heartbeat(int(state["cycle"]), int(state.get("retired", 0)))
+        obs_events.emit("checkpoint_written", data={
+            "cycle": int(state["cycle"]),
+            "retired": int(state.get("retired", 0)),
+            "snapshots": self.written, "path": str(path)})
         self._rotate()
         self._crash_drill()
         return path
@@ -258,10 +265,12 @@ class CheckpointManager:
         for path in reversed(self.snapshots()):
             try:
                 return self._parse(path)
-            except _CorruptSnapshot:
+            except _CorruptSnapshot as exc:
                 try:
                     quarantine(path)
                     self.quarantined += 1
+                    obs_events.emit("checkpoint_quarantined", data={
+                        "path": str(path), "reason": str(exc)})
                 except OSError:
                     pass
         return None
@@ -347,6 +356,10 @@ def run_with_checkpoints(trace: Trace, config: SimConfig, *,
         if state is not None:
             sim.load_state_dict(state)
             resumed_from = int(state["cycle"])
+            obs_events.emit("checkpoint_resumed", data={
+                "cycle": resumed_from,
+                "retired": int(state.get("retired", 0)),
+                "name": sim.name})
     if config.checkpoint_interval > 0:
         sim.checkpoint_sink = manager.write
     result = sim.run()

@@ -18,7 +18,6 @@ stay warm).
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable
 
 from repro.bpred import ReturnAddressStack, make_direction_predictor
@@ -30,6 +29,8 @@ from repro.frontend import FetchEngine, FetchTargetQueue, FTQEntry, \
     PredictUnit
 from repro.ftb import FetchTargetBuffer, TwoLevelFTB
 from repro.memory import MemorySystem
+from repro.obs import events as obs_events
+from repro.obs.profile import CycleProfiler
 # Re-exported for backward compatibility: kind resolution now lives in
 # the prefetcher registry (see repro/prefetch/__init__.py).
 from repro.prefetch import make_prefetcher  # noqa: F401
@@ -39,7 +40,7 @@ from repro.stats import IntervalSampler, IntervalSeries, \
     RunLengthObserver, StatGroup, TelemetryNode, TelemetrySnapshot
 from repro.trace import Trace
 
-__all__ = ["Simulator", "make_prefetcher", "run_simulation"]
+__all__ = ["Simulator", "make_prefetcher"]
 
 _DEFAULT_CYCLE_CAP_PER_INSTR = 200
 
@@ -101,6 +102,10 @@ class Simulator:
         self.tracer = tracer
         self.fast_loop = config.fast_loop if fast_loop is None else fast_loop
         self.skipped_cycles = 0   # diagnostics only; not a statistic
+        # Opt-in cycle-attribution profiler (see repro/obs/profile.py).
+        # It lives outside the telemetry tree on purpose: SimResult
+        # stays bit-identical with profiling on or off.
+        self.profiler = CycleProfiler() if config.profile else None
         self._resolve_at: int | None = None
         self._resolve_entry: FTQEntry | None = None
         self._warmed = config.warmup_instructions == 0
@@ -195,6 +200,7 @@ class Simulator:
         # A tracer observes every cycle; it forces the naive loop.
         fast = self.fast_loop and self.tracer is None
         tracer = self.tracer
+        profiler = self.profiler
         memory = self.memory
         mem_stats = memory.stats
         backend = self.backend
@@ -227,6 +233,13 @@ class Simulator:
         progress_cycle = self.cycle
         progress_retired = backend.retired
 
+        if self.config.event_log is not None:
+            obs_events.attach_log_file(self.config.event_log)
+        obs_events.emit("run_start", data={
+            "name": self.name, "engine": "fast" if fast else "naive",
+            "cycle": self.cycle, "instructions": total,
+            "resumed": self.cycle > 0})
+
         while backend.retired < total:
             self.cycle += 1
             cycle = self.cycle
@@ -246,6 +259,11 @@ class Simulator:
             if sampler is not None:
                 sampler.advance(cycle, occ, backend.retired,
                                 mem_stats.get("demand_misses"))
+            if profiler is not None:
+                # End-of-cycle classification; inside a fast-path skip
+                # window this state is pinned, so _apply_skip attributes
+                # the whole window with one observe(n) call.
+                profiler.observe(self, bool(fetched))
             if tracer is not None:
                 tracer.record(cycle, self)
 
@@ -261,6 +279,9 @@ class Simulator:
                     sampler = IntervalSampler(
                         window, origin=self.cycle,
                         base_retired=backend.retired)
+                obs_events.emit("warmup_end", data={
+                    "name": self.name, "cycle": self.cycle,
+                    "retired": backend.retired})
             elif fast and not fetched and backend.retired < total:
                 # (the fetched guard merely pre-filters active cycles;
                 # the retired guard keeps the loop's exit cycle — and
@@ -274,6 +295,10 @@ class Simulator:
                     progress_retired = backend.retired
                     progress_cycle = self.cycle
                 elif self.cycle - progress_cycle >= watchdog:
+                    obs_events.emit("watchdog_stall", data={
+                        "name": self.name, "cycle": self.cycle,
+                        "retired": backend.retired,
+                        "watchdog_interval": watchdog})
                     raise WatchdogStallError(
                         self.cycle, backend.retired, watchdog,
                         state=self._stall_dump())
@@ -288,6 +313,10 @@ class Simulator:
         if sampler is not None:
             intervals = sampler.finalize(self.cycle, backend.retired,
                                          mem_stats.get("demand_misses"))
+        obs_events.emit("run_end", data={
+            "name": self.name, "cycle": self.cycle,
+            "retired": backend.retired,
+            "skipped_cycles": self.skipped_cycles})
         return self._collect(intervals)
 
     def _apply_skip(self, plan, occupancy: RunLengthObserver,
@@ -303,6 +332,11 @@ class Simulator:
         counter to one before the plan's progress bound.
         """
         n = plan.cycles
+        if self.profiler is not None:
+            # The skip proof pins every input classify() reads across
+            # the window, so one call attributes all n cycles to the
+            # exact bucket the naive loop would have chosen.
+            self.profiler.observe(self, False, n)
         self.fetch_engine.stats.bump(plan.fetch_counter, n)
         if plan.predict_counter is not None:
             self.predict_unit.stats.bump(plan.predict_counter, n)
@@ -322,6 +356,8 @@ class Simulator:
         self._measure_start_cycle = self.cycle
         self._measure_start_retired = self.backend.retired
         self._reset_stats()
+        if self.profiler is not None:
+            self.profiler.reset()
 
     def _stall_dump(self) -> dict:
         """Scheduling-state summary attached to watchdog failures."""
@@ -369,6 +405,8 @@ class Simulator:
             "occupancy": (occupancy.state_dict()
                           if occupancy is not None else None),
             "sampler": sampler.state_dict() if sampler is not None else None,
+            "profile": (self.profiler.state_dict()
+                        if self.profiler is not None else None),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -412,6 +450,9 @@ class Simulator:
             self._resolve_entry = None
         self._resume_occupancy = state.get("occupancy")
         self._resume_sampler = state.get("sampler")
+        profile_state = state.get("profile")
+        if self.profiler is not None and profile_state is not None:
+            self.profiler.load_state_dict(profile_state)
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -457,16 +498,25 @@ class Simulator:
     def _collect(self, intervals: IntervalSeries | None = None) -> SimResult:
         return SimResult.from_snapshot(self.telemetry_snapshot(intervals))
 
+    def profile_report(self) -> dict:
+        """The cycle-attribution profile for the measured region so far.
 
-def run_simulation(trace: Trace, config: SimConfig,
-                   name: str | None = None) -> SimResult:
-    """Build a :class:`Simulator` and run it to completion.
-
-    .. deprecated::
-        Use :func:`repro.api.simulate` instead; this wrapper remains
-        for backward compatibility and will be removed eventually.
-    """
-    warnings.warn(
-        "run_simulation is deprecated; use repro.api.simulate instead",
-        DeprecationWarning, stacklevel=2)
-    return Simulator(trace, config, name=name).run()
+        Buckets sum exactly to the measured cycle count (the ``cycles``
+        field of :attr:`telemetry_snapshot`'s meta).  Requires
+        ``SimConfig(profile=True)``; the convenience wrapper is
+        :func:`repro.obs.profile_run`.
+        """
+        if self.profiler is None:
+            raise SimulationError(
+                "profiling is off; construct with SimConfig(profile=True) "
+                "or use repro.obs.profile_run")
+        meta = {
+            "name": self.name,
+            "prefetcher": self.config.prefetch.kind,
+            "cycles": self.cycle - self._measure_start_cycle,
+            "instructions": self.backend.retired
+            - self._measure_start_retired,
+        }
+        return self.profiler.report(
+            meta=meta,
+            bus_busy=self.memory.bus.stats.get("busy_cycles"))

@@ -6,14 +6,15 @@ shard count — without growing parallel argument lists.  :class:`Point`
 is the typed replacement; :class:`ExperimentSpec` is an immutable,
 iterable collection of points with a name.
 
-Bare tuples remain accepted everywhere points are (``Runner.sweep``,
-``repro.api.sweep``): :func:`normalize_points` converts them and warns
-once per process with a :class:`DeprecationWarning`.
+Bare ``(workload, config)`` tuples are no longer accepted:
+:func:`normalize_points` rejects them with a
+:class:`~repro.errors.ConfigError` naming the :class:`Point`
+replacement (they were deprecated with a warning for several releases
+first).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -68,7 +69,7 @@ class ExperimentSpec:
     """An immutable, named collection of sweep points.
 
     Iterates and indexes like a sequence of :class:`Point`.  Build one
-    from any mix of points and legacy tuples with :meth:`of`.
+    from an iterable of points with :meth:`of`.
     """
 
     points: tuple[Point, ...]
@@ -81,13 +82,13 @@ class ExperimentSpec:
             if not isinstance(point, Point):
                 raise ConfigError(
                     f"ExperimentSpec.points must contain Point objects; "
-                    f"got {type(point).__name__} (use ExperimentSpec.of "
-                    f"to normalize legacy tuples)")
+                    f"got {type(point).__name__} (build specs with "
+                    f"ExperimentSpec.of)")
 
     @classmethod
-    def of(cls, points: "Iterable[Point | tuple]",
+    def of(cls, points: "Iterable[Point]",
            name: str = "") -> "ExperimentSpec":
-        """Build a spec, normalizing legacy tuples (with a warning)."""
+        """Build a spec from an iterable of :class:`Point` objects."""
         return cls(points=tuple(normalize_points(points)), name=name)
 
     def __iter__(self) -> Iterator[Point]:
@@ -110,51 +111,29 @@ class ExperimentSpec:
         return tuple(dict.fromkeys(p.config for p in self.points))
 
 
-_warned_legacy_tuples = False
-
-
-def _warn_legacy_tuples() -> None:
-    global _warned_legacy_tuples
-    if _warned_legacy_tuples:
-        return
-    _warned_legacy_tuples = True
-    warnings.warn(
-        "passing sweep points as (workload, config) tuples is deprecated; "
-        "use repro.Point(workload, config) instead",
-        DeprecationWarning, stacklevel=4)
-
-
-def _reset_deprecation_warnings() -> None:
-    """Re-arm the once-per-process tuple deprecation (for tests)."""
-    global _warned_legacy_tuples
-    _warned_legacy_tuples = False
-
-
-def normalize_points(points: "Iterable[Point | tuple] | ExperimentSpec",
+def normalize_points(points: "Iterable[Point] | ExperimentSpec",
                      ) -> list[Point]:
-    """Coerce a mixed point collection to a list of :class:`Point`.
+    """Coerce a point collection to a list of :class:`Point`.
 
-    Accepts :class:`Point` instances, an :class:`ExperimentSpec`, and
-    legacy ``(workload, config)`` tuples; the first tuple seen in this
-    process emits a :class:`DeprecationWarning`.  Anything else raises
-    :class:`~repro.errors.ConfigError`.
+    Accepts :class:`Point` instances and :class:`ExperimentSpec`.
+    Legacy ``(workload, config)`` tuples — deprecated with a warning
+    for several releases — are now rejected with a
+    :class:`~repro.errors.ConfigError` that names the replacement.
     """
     if isinstance(points, ExperimentSpec):
         return list(points.points)
     normalized: list[Point] = []
-    saw_tuple = False
     for entry in points:
         if isinstance(entry, Point):
             normalized.append(entry)
         elif isinstance(entry, Sequence) and not isinstance(entry, str) \
                 and len(entry) == 2:
-            workload, config = entry
-            saw_tuple = True
-            normalized.append(Point(workload=workload, config=config))
+            workload = entry[0]
+            raise ConfigError(
+                f"legacy (workload, config) tuple sweep points were "
+                f"removed; pass repro.Point({workload!r}, config) "
+                f"instead")
         else:
             raise ConfigError(
-                f"sweep points must be Point objects or (workload, "
-                f"config) tuples; got {entry!r}")
-    if saw_tuple:
-        _warn_legacy_tuples()
+                f"sweep points must be Point objects; got {entry!r}")
     return normalized

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, simulate
 from repro.analysis import (
     StallBreakdown,
     TimelinessSummary,
@@ -52,7 +52,7 @@ class TestStallBreakdown:
     def test_end_to_end_accounting_sums_to_one(self, small_trace):
         config = SimConfig(prefetch=PrefetchConfig(
             kind=PrefetcherKind.FDIP))
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         breakdown = stall_breakdown(result)
         total = (breakdown.active + breakdown.icache_miss
                  + breakdown.window_full + breakdown.ftq_empty
@@ -61,10 +61,10 @@ class TestStallBreakdown:
         assert breakdown.active > 0
 
     def test_prefetching_shifts_miss_stalls_to_active(self, small_trace):
-        base = stall_breakdown(run_simulation(
+        base = stall_breakdown(simulate(
             small_trace,
             SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.NONE))))
-        fdip = stall_breakdown(run_simulation(
+        fdip = stall_breakdown(simulate(
             small_trace,
             SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.FDIP))))
         assert fdip.icache_miss < base.icache_miss
@@ -100,7 +100,7 @@ class TestTimeliness:
     def test_end_to_end_leads_recorded(self, small_trace):
         config = SimConfig(prefetch=PrefetchConfig(
             kind=PrefetcherKind.FDIP))
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         if result.prefetches_useful:
             assert sum(result.prefetch_lead_hist.values()) > 0
             summary = timeliness_summary(result)

@@ -1,5 +1,5 @@
 """The stable public API: ``repro.api``, the prefetcher registry, and
-the ``run_simulation`` deprecation shim."""
+the removed ``run_simulation`` alias's migration hints."""
 
 from __future__ import annotations
 
@@ -14,7 +14,7 @@ from repro.errors import SimulationError
 from repro.prefetch import make_prefetcher, register, registered_kinds
 from repro.prefetch.none import NonePrefetcher
 from repro.prefetch.registry import create
-from repro.sim.simulator import Simulator, run_simulation
+from repro.sim.simulator import Simulator
 
 
 class TestFacade:
@@ -50,15 +50,29 @@ class TestFacade:
             Simulator(tiny_trace, SimConfig(), "a-name")
 
 
-class TestDeprecationShim:
-    def test_run_simulation_warns_and_matches_simulate(self, tiny_trace):
-        config = SimConfig(
-            prefetch=PrefetchConfig(kind=PrefetcherKind.FDIP))
-        with pytest.warns(DeprecationWarning,
-                          match=r"repro\.api\.simulate"):
-            old = run_simulation(tiny_trace, config)
-        new = simulate(tiny_trace, config)
-        assert old == new
+class TestRemovedAlias:
+    """``run_simulation`` is gone; every import site gets a hint."""
+
+    def test_top_level_attribute_raises_with_hint(self):
+        with pytest.raises(AttributeError, match="repro.simulate"):
+            repro.run_simulation
+
+    def test_sim_package_attribute_raises_with_hint(self):
+        import repro.sim
+
+        with pytest.raises(AttributeError, match="repro.simulate"):
+            repro.sim.run_simulation
+
+    def test_simulator_module_has_no_alias(self):
+        import repro.sim.simulator as simulator
+
+        assert not hasattr(simulator, "run_simulation")
+        assert "run_simulation" not in simulator.__all__
+
+    def test_unknown_attribute_still_plain_error(self):
+        # The migration __getattr__ must not swallow ordinary typos.
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.simualte
 
     def test_simulate_does_not_warn(self, tiny_trace):
         with warnings.catch_warnings():
@@ -72,8 +86,9 @@ class TestDeprecationShim:
         text = " ".join(readme.read_text(encoding="utf-8").split())
         assert "repro.api" in text
         assert "only documented programmatic entry points" in text
-        # The legacy shim is documented as deprecated, not promoted.
-        assert "DeprecationWarning" in text
+        # The removal is documented, with the replacement spelled out.
+        assert "run_simulation" in text
+        assert "removed" in text
 
 
 class TestRegistry:

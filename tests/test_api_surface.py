@@ -1,22 +1,25 @@
 """Guard the public API surface against accidental drift.
 
-``tests/data/api_surface.json`` freezes the names ``repro.api`` exports
-and the parameter lists of its entry points.  Any change — adding,
-removing, renaming, or reordering keyword parameters — fails here until
-the fixture is updated *deliberately* in the same commit, which makes
-API changes visible in review instead of slipping out as silent
-breakage for downstream scripts.
+``tests/data/api_surface.json`` freezes the names ``repro.api`` and
+``repro.obs`` export and the parameter lists of the main entry points.
+Any change — adding, removing, renaming, or reordering keyword
+parameters — fails here until the fixture is updated *deliberately* in
+the same commit, which makes API changes visible in review instead of
+slipping out as silent breakage for downstream scripts.
 
 Regenerate after an intentional change::
 
     PYTHONPATH=src python - <<'EOF'
     import inspect, json
     import repro.api as api
+    import repro.obs as obs
     surface = {
         "all": sorted(api.__all__),
+        "obs_all": sorted(obs.__all__),
         "signatures": {
             name: list(inspect.signature(getattr(api, name)).parameters)
-            for name in ("simulate", "make_runner", "sweep")
+            for name in ("simulate", "make_runner", "sweep",
+                         "profile_run")
         },
     }
     with open("tests/data/api_surface.json", "w") as out:
@@ -33,6 +36,7 @@ from pathlib import Path
 
 import repro
 import repro.api as api
+import repro.obs as obs
 
 FIXTURE = Path(__file__).parent / "data" / "api_surface.json"
 
@@ -47,9 +51,16 @@ class TestApiSurface:
             "repro.api.__all__ changed; if intentional, regenerate "
             "tests/data/api_surface.json (see this module's docstring)")
 
+    def test_obs_exported_names_match_fixture(self):
+        assert sorted(obs.__all__) == _frozen()["obs_all"], (
+            "repro.obs.__all__ changed; if intentional, regenerate "
+            "tests/data/api_surface.json (see this module's docstring)")
+
     def test_every_exported_name_resolves(self):
         for name in api.__all__:
             assert getattr(api, name) is not None
+        for name in obs.__all__:
+            assert getattr(obs, name) is not None
 
     def test_entry_point_signatures_match_fixture(self):
         for name, params in _frozen()["signatures"].items():

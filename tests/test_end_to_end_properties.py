@@ -9,7 +9,7 @@ matter how the predictors, FTB, caches, and squash logic interact.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, simulate
 from repro.cfg import ProgramShape, TraceWalker, generate_program
 from repro.ftb import FetchTargetBuffer, FTBEntry
 from repro.isa import InstrKind
@@ -53,7 +53,7 @@ def test_simulator_retires_every_record(shape, seed, kind):
     program = generate_program(shape, seed=seed)
     trace = Trace.from_program(program, 1200, seed=seed + 1)
     config = SimConfig(prefetch=PrefetchConfig(kind=kind))
-    result = run_simulation(trace, config)
+    result = simulate(trace, config)
     assert result.instructions == len(trace)
     assert result.cycles > 0
     assert result.get("backend.retired") == len(trace)
@@ -65,8 +65,8 @@ def test_simulation_is_deterministic(shape, seed):
     program = generate_program(shape, seed=seed)
     trace = Trace.from_program(program, 800, seed=seed)
     config = SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.FDIP))
-    a = run_simulation(trace, config)
-    b = run_simulation(trace, config)
+    a = simulate(trace, config)
+    b = simulate(trace, config)
     assert a.cycles == b.cycles
     assert a.counters == b.counters
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, simulate
 from repro.errors import ConfigError
 
 
@@ -14,31 +14,31 @@ def config_with(ff=0, warmup=0, kind=PrefetcherKind.FDIP):
 
 class TestFastForward:
     def test_measured_region_shrinks(self, small_trace):
-        result = run_simulation(small_trace, config_with(ff=8000))
+        result = simulate(small_trace, config_with(ff=8000))
         assert result.instructions == len(small_trace) - 8000
         assert result.get("sim.fast_forwarded") == 8000
 
     def test_zero_is_default_and_noop(self, small_trace):
-        result = run_simulation(small_trace, config_with())
+        result = simulate(small_trace, config_with())
         assert result.instructions == len(small_trace)
         assert result.get("sim.fast_forwarded") == 0
 
     def test_warms_structures(self, small_trace):
-        cold = run_simulation(small_trace.slice(8000, len(small_trace)),
+        cold = simulate(small_trace.slice(8000, len(small_trace)),
                               config_with())
-        warm = run_simulation(small_trace, config_with(ff=8000))
+        warm = simulate(small_trace, config_with(ff=8000))
         # Same measured records; the warmed run must miss less.
         assert warm.instructions == cold.instructions
         assert warm.l1i_mpki <= cold.l1i_mpki
         assert warm.mispredicts <= cold.mispredicts
 
     def test_close_to_timed_warmup(self, small_trace):
-        timed = run_simulation(small_trace, config_with(warmup=8000))
-        fast = run_simulation(small_trace, config_with(ff=8000))
+        timed = simulate(small_trace, config_with(warmup=8000))
+        fast = simulate(small_trace, config_with(ff=8000))
         assert fast.ipc == pytest.approx(timed.ipc, rel=0.12)
 
     def test_ff_beyond_trace_clamped(self, small_trace):
-        result = run_simulation(small_trace,
+        result = simulate(small_trace,
                                 config_with(ff=10 ** 9))
         assert result.instructions == 1
 
@@ -47,7 +47,7 @@ class TestFastForward:
             config_with(ff=-1)
 
     def test_stats_reset_after_ff(self, small_trace):
-        result = run_simulation(small_trace, config_with(ff=8000))
+        result = simulate(small_trace, config_with(ff=8000))
         # The functional pass must not leak fills into measured stats
         # beyond what the timed region itself did.
         assert result.get("l1i.fills") <= result.get("mem.demand_misses") \

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, simulate
 from repro.config import CoreConfig
 from repro.cpu import Backend
 from repro.sim import check_invariants
@@ -48,7 +48,7 @@ class TestWrongPathWindowEndToEnd:
             config.core, wrong_path_in_window=wrong_path_in_window))
 
     def test_completes_and_consistent(self, small_trace):
-        result = run_simulation(small_trace, self.config(True))
+        result = simulate(small_trace, self.config(True))
         assert result.instructions == 8000
         assert check_invariants(result) == []
         assert result.get("backend.wrong_path_delivered") > 0
@@ -56,15 +56,15 @@ class TestWrongPathWindowEndToEnd:
             result.get("backend.wrong_path_delivered")
 
     def test_occupancy_pressure_never_speeds_up(self, small_trace):
-        off = run_simulation(small_trace, self.config(False))
-        on = run_simulation(small_trace, self.config(True))
+        off = simulate(small_trace, self.config(False))
+        on = simulate(small_trace, self.config(True))
         # Wrong-path occupancy can only add pressure.
         assert on.ipc <= off.ipc * 1.01
 
     def test_default_off_matches_legacy(self, small_trace):
         legacy = SimConfig(prefetch=PrefetchConfig(
             kind=PrefetcherKind.FDIP), max_instructions=8000)
-        result = run_simulation(small_trace, legacy)
+        result = simulate(small_trace, legacy)
         assert result.get("backend.wrong_path_delivered") == 0
 
 
@@ -75,19 +75,19 @@ class TestStreamProbeDepth:
             max_instructions=8000)
 
     def test_deeper_probe_completes_and_consistent(self, small_trace):
-        result = run_simulation(small_trace, self.config(4))
+        result = simulate(small_trace, self.config(4))
         assert result.instructions == 8000
         assert check_invariants(result) == []
 
     def test_deeper_probe_not_worse(self, small_trace):
-        head_only = run_simulation(small_trace, self.config(1))
-        deep = run_simulation(small_trace, self.config(4))
+        head_only = simulate(small_trace, self.config(1))
+        deep = simulate(small_trace, self.config(4))
         # Lookup-variant stream buffers tolerate small skips; they
         # should never lose to head-only compare.
         assert deep.ipc >= head_only.ipc * 0.99
 
     def test_non_head_hits_counted(self, small_trace):
-        deep = run_simulation(small_trace, self.config(4))
-        head_only = run_simulation(small_trace, self.config(1))
+        deep = simulate(small_trace, self.config(4))
+        head_only = simulate(small_trace, self.config(1))
         assert head_only.get("stream.non_head_hits") == 0
         assert deep.get("stream.non_head_hits") >= 0

@@ -11,7 +11,7 @@ Regenerate::
     python -c "
     from repro.cfg import ProgramShape, generate_program
     from repro.trace import Trace
-    from repro import SimConfig, PrefetchConfig, run_simulation
+    from repro import SimConfig, PrefetchConfig, simulate
     shape = ProgramShape(target_instrs=2048, n_functions=16,
                          n_levels=5, dispatcher_fanout=4)
     prog = generate_program(shape, seed=42, name='small')
@@ -19,7 +19,7 @@ Regenerate::
     for kind, fm in [('none','none'),('nlp','none'),('stream','none'),
                      ('fdip','enqueue'),('fdip','ideal'),
                      ('fdip_nlp','enqueue')]:
-        r = run_simulation(tr, SimConfig(prefetch=PrefetchConfig(
+        r = simulate(tr, SimConfig(prefetch=PrefetchConfig(
             kind=kind, filter_mode=fm)))
         print(kind, fm, r.cycles, r.mispredicts, r.demand_misses,
               r.prefetches_issued)
@@ -28,7 +28,7 @@ Regenerate::
 
 import pytest
 
-from repro import PrefetchConfig, SimConfig, run_simulation
+from repro import PrefetchConfig, SimConfig, simulate
 from repro.cfg import ProgramShape, generate_program
 from repro.trace import Trace
 
@@ -60,7 +60,7 @@ def golden_trace():
 @pytest.mark.parametrize("key", sorted(GOLDEN))
 def test_golden_counters(golden_trace, key):
     kind, filter_mode = key
-    result = run_simulation(golden_trace, SimConfig(
+    result = simulate(golden_trace, SimConfig(
         prefetch=PrefetchConfig(kind=kind, filter_mode=filter_mode)))
     expected = GOLDEN[key]
     measured = dict(cycles=result.cycles,

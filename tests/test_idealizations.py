@@ -4,7 +4,7 @@ import dataclasses
 
 
 from repro import FilterMode, PrefetchConfig, PrefetcherKind, SimConfig, \
-    run_simulation
+    simulate
 from repro.bpred import HybridPredictor, ReturnAddressStack
 from repro.config import FrontEndConfig, PredictorConfig
 from repro.frontend import FetchTargetQueue, PredictUnit
@@ -88,8 +88,8 @@ class TestPerfectDirection:
 
 class TestPerfectDirectionEndToEnd:
     def test_ipc_not_worse_with_oracle(self, small_trace):
-        real = run_simulation(small_trace, fdip_config())
-        oracle = run_simulation(small_trace,
+        real = simulate(small_trace, fdip_config())
+        oracle = simulate(small_trace,
                                 fdip_config(perfect_direction=True))
         assert oracle.ipc >= real.ipc
         assert oracle.mispredicts <= real.mispredicts
@@ -100,12 +100,12 @@ class TestDirectToL1Fills:
         config = SimConfig(prefetch=PrefetchConfig(
             kind=PrefetcherKind.FDIP, filter_mode=FilterMode.ENQUEUE,
             fill_l1_directly=True))
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         assert result.get("mem.prefetch_fills_to_l1") > 0
         assert result.get("pbuf.fills") == 0
 
     def test_buffered_fill_uses_buffer(self, small_trace):
-        result = run_simulation(small_trace, fdip_config())
+        result = simulate(small_trace, fdip_config())
         assert result.get("pbuf.fills") > 0
         assert result.get("mem.prefetch_fills_to_l1") == 0
 
@@ -113,5 +113,5 @@ class TestDirectToL1Fills:
         for direct in (False, True):
             config = SimConfig(prefetch=PrefetchConfig(
                 kind=PrefetcherKind.FDIP, fill_l1_directly=direct))
-            result = run_simulation(small_trace, config)
+            result = simulate(small_trace, config)
             assert result.instructions == len(small_trace)

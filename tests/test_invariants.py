@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, simulate
 from repro.sim import (
     InvariantViolation,
     assert_invariants,
@@ -17,13 +17,13 @@ class TestOnRealRuns:
     def test_every_prefetcher_consistent(self, small_trace, kind):
         config = SimConfig(prefetch=PrefetchConfig(kind=kind),
                            max_instructions=6000)
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         assert check_invariants(result) == []
 
     def test_with_warmup(self, small_trace):
         config = SimConfig(prefetch=PrefetchConfig(
             kind=PrefetcherKind.FDIP), warmup_instructions=3000)
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         assert check_invariants(result, warmed_up=True) == []
 
     def test_wrong_path_off_consistent(self, small_trace):
@@ -31,7 +31,7 @@ class TestOnRealRuns:
             kind=PrefetcherKind.FDIP), max_instructions=6000)
         config = config.replace(frontend=dataclasses.replace(
             config.frontend, model_wrong_path=False))
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         assert check_invariants(result) == []
 
     def test_two_level_ftb_consistent(self, small_trace):
@@ -42,7 +42,7 @@ class TestOnRealRuns:
             ftb_l2_sets=256)
         config = config.replace(frontend=dataclasses.replace(
             config.frontend, predictor=predictor))
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         assert check_invariants(result) == []
 
 
@@ -50,7 +50,7 @@ class TestDetection:
     def test_detects_corrupted_counters(self, small_trace):
         config = SimConfig(prefetch=PrefetchConfig(
             kind=PrefetcherKind.NONE), max_instructions=3000)
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         result.counters["backend.retired"] += 1
         violations = check_invariants(result)
         assert violations
@@ -58,7 +58,7 @@ class TestDetection:
     def test_assert_raises(self, small_trace):
         config = SimConfig(prefetch=PrefetchConfig(
             kind=PrefetcherKind.NONE), max_instructions=3000)
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         result.counters["sim.squashes"] += 5
         with pytest.raises(InvariantViolation):
             assert_invariants(result)
@@ -66,4 +66,4 @@ class TestDetection:
     def test_assert_passes_clean(self, small_trace):
         config = SimConfig(prefetch=PrefetchConfig(
             kind=PrefetcherKind.NONE), max_instructions=3000)
-        assert_invariants(run_simulation(small_trace, config))
+        assert_invariants(simulate(small_trace, config))

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, simulate
 from repro.bpred import HybridPredictor, ReturnAddressStack
 from repro.config import FrontEndConfig, PredictorConfig
 from repro.errors import ConfigError
@@ -126,7 +126,7 @@ class TestPredictUnitIntegration:
             ftb_l2_sets=256, ftb_l2_latency=3)
         config = config.replace(frontend=dataclasses.replace(
             config.frontend, predictor=predictor))
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         assert result.instructions == len(small_trace)
         assert result.get("ftb2.installs") > 0
 
@@ -139,7 +139,7 @@ class TestPredictUnitIntegration:
                 ftb_l2_sets=l2_sets, ftb_l2_latency=3)
             config = config.replace(frontend=dataclasses.replace(
                 config.frontend, predictor=predictor))
-            return run_simulation(small_trace, config)
+            return simulate(small_trace, config)
 
         small = run_with(4, 0)
         two_level = run_with(4, 512)

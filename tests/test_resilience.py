@@ -22,6 +22,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.harness import (
+    Point,
     ResultStore,
     Runner,
     RetryPolicy,
@@ -30,7 +31,8 @@ from repro.harness import (
     run_supervised,
     technique_config,
 )
-from repro.sim import InvariantViolation, guard_invariants, run_simulation
+from repro.api import simulate
+from repro.sim import InvariantViolation, guard_invariants
 from repro.stats.sweep import merge_counters, summary_line, sweep_stat_group
 from tests import _faulty
 
@@ -363,7 +365,7 @@ class TestManifestIdentity:
 
 
 class _FlakyOnce:
-    """Wraps run_simulation: raise on the first N calls, then delegate."""
+    """Wraps simulate: raise on the first N calls, then delegate."""
 
     def __init__(self, fail_times, exc_factory):
         self.calls = 0
@@ -374,7 +376,7 @@ class _FlakyOnce:
         self.calls += 1
         if self.calls <= self.fail_times:
             raise self.exc_factory()
-        return run_simulation(trace, config, name=name)
+        return simulate(trace, config, name=name)
 
 
 class TestParallelSweepFaults:
@@ -385,7 +387,7 @@ class TestParallelSweepFaults:
 
     def test_flaky_point_completes_sweep(self, tmp_path, monkeypatch):
         flaky = _FlakyOnce(1, lambda: RuntimeError("transient"))
-        monkeypatch.setattr("repro.harness.parallel.run_simulation", flaky)
+        monkeypatch.setattr("repro.harness.parallel.simulate", flaky)
         outcome = parallel_sweep(self._points("none"), trace_length=2000,
                                  processes=1, policy=FAST)
         assert outcome.ok
@@ -396,7 +398,7 @@ class TestParallelSweepFaults:
             self, tmp_path, monkeypatch):
         flaky = _FlakyOnce(1, lambda: InvariantViolation(
             ["injected violation"], context="compress_like"))
-        monkeypatch.setattr("repro.harness.parallel.run_simulation", flaky)
+        monkeypatch.setattr("repro.harness.parallel.simulate", flaky)
         outcome = parallel_sweep(self._points("none"), trace_length=2000,
                                  processes=1, policy=FAST)
         assert outcome.ok
@@ -405,7 +407,7 @@ class TestParallelSweepFaults:
     def test_exhausted_point_degrades_gracefully(self, tmp_path,
                                                  monkeypatch):
         flaky = _FlakyOnce(99, lambda: InvariantViolation(["always bad"]))
-        monkeypatch.setattr("repro.harness.parallel.run_simulation", flaky)
+        monkeypatch.setattr("repro.harness.parallel.simulate", flaky)
         points = self._points("none", "nlp")
         outcome = parallel_sweep(points, trace_length=2000, processes=1,
                                  policy=FAST)
@@ -429,11 +431,11 @@ class TestParallelSweepFaults:
         # Corrupt the counters the worker produces: the guard must turn
         # the violation into a structured point failure.
         def corrupted(trace, config, name=None):
-            result = run_simulation(trace, config, name=name)
+            result = simulate(trace, config, name=name)
             result.counters["backend.retired"] += 1
             return result
 
-        monkeypatch.setattr("repro.harness.parallel.run_simulation",
+        monkeypatch.setattr("repro.harness.parallel.simulate",
                             corrupted)
         outcome = parallel_sweep(self._points("none"), trace_length=2000,
                                  processes=1,
@@ -446,7 +448,7 @@ class TestParallelSweepFaults:
 class TestCheckpointResume:
     def _count_sims(self, monkeypatch):
         counting = _FlakyOnce(0, None)
-        monkeypatch.setattr("repro.harness.parallel.run_simulation",
+        monkeypatch.setattr("repro.harness.parallel.simulate",
                             counting)
         return counting
 
@@ -544,29 +546,29 @@ class TestRunnerResilience:
 
     def test_runner_sweep_memoizes_results(self, tmp_path, monkeypatch):
         runner = Runner(trace_length=2000)
-        points = [("compress_like", technique_config("none"))]
+        points = [Point("compress_like", technique_config("none"))]
         outcome = runner.sweep(points, processes=1)
         assert outcome.ok
         assert runner.runs_performed == 1
         # A subsequent run() replays the memo without simulating.
         counting = _FlakyOnce(0, None)
-        monkeypatch.setattr("repro.harness.runner.run_simulation",
+        monkeypatch.setattr("repro.harness.runner.simulate",
                             counting)
         runner.run("compress_like", technique_config("none"))
         assert counting.calls == 0
 
     def test_runner_accumulates_sweep_counters(self, tmp_path):
         runner = Runner(trace_length=2000)
-        runner.sweep([("compress_like", technique_config("none"))],
+        runner.sweep([Point("compress_like", technique_config("none"))],
                      processes=1)
-        runner.sweep([("compress_like", technique_config("nlp"))],
+        runner.sweep([Point("compress_like", technique_config("nlp"))],
                      processes=1)
         assert runner.sweep_counters["points"] == 2
 
     def test_report_footer_shows_sweep_summary(self, tmp_path):
         from repro.harness import generate_report
         runner = Runner(trace_length=2000)
-        runner.sweep([("compress_like", technique_config("none"))],
+        runner.sweep([Point("compress_like", technique_config("none"))],
                      processes=1)
         text = generate_report(runner, experiment_ids=["E1"])
         assert "Sweep execution: sweep: 1/1 points completed" in text
@@ -575,7 +577,7 @@ class TestRunnerResilience:
         from repro.workloads import build_trace
         from repro.config import SimConfig
         trace = build_trace("compress_like", 2000, seed=1)
-        result = run_simulation(trace, SimConfig())
+        result = simulate(trace, SimConfig())
         assert guard_invariants(result) is result
 
     def test_invariant_violation_pickles_with_diagnostics(self):

@@ -7,7 +7,7 @@ from repro import (
     PrefetchConfig,
     PrefetcherKind,
     SimConfig,
-    run_simulation,
+    simulate,
 )
 from repro.errors import SimulationError
 
@@ -19,7 +19,7 @@ def config_for(kind, filter_mode=FilterMode.ENQUEUE, **kw):
 
 @pytest.fixture(scope="module", params=list(PrefetcherKind.ALL))
 def any_result(request, small_trace_module):
-    return run_simulation(small_trace_module, config_for(request.param))
+    return simulate(small_trace_module, config_for(request.param))
 
 
 @pytest.fixture(scope="module")
@@ -48,8 +48,8 @@ class TestCompletion:
 class TestDeterminism:
     def test_same_inputs_same_result(self, small_trace_module):
         config = config_for(PrefetcherKind.FDIP)
-        a = run_simulation(small_trace_module, config)
-        b = run_simulation(small_trace_module, config)
+        a = simulate(small_trace_module, config)
+        b = simulate(small_trace_module, config)
         assert a.cycles == b.cycles
         assert a.counters == b.counters
 
@@ -60,7 +60,7 @@ class TestOrderings:
     @pytest.fixture(scope="class")
     def results(self, small_trace_module):
         return {
-            kind: run_simulation(small_trace_module, config_for(kind))
+            kind: simulate(small_trace_module, config_for(kind))
             for kind in PrefetcherKind.ALL
         }
 
@@ -87,10 +87,10 @@ class TestOrderings:
 
 class TestFiltering:
     def test_filtering_cuts_bus_traffic(self, small_trace_module):
-        unfiltered = run_simulation(
+        unfiltered = simulate(
             small_trace_module,
             config_for(PrefetcherKind.FDIP, FilterMode.NONE))
-        ideal = run_simulation(
+        ideal = simulate(
             small_trace_module,
             config_for(PrefetcherKind.FDIP, FilterMode.IDEAL))
         assert ideal.bus_utilization < unfiltered.bus_utilization
@@ -98,7 +98,7 @@ class TestFiltering:
 
     def test_enqueue_between_none_and_ideal(self, small_trace_module):
         results = {
-            mode: run_simulation(small_trace_module,
+            mode: simulate(small_trace_module,
                                  config_for(PrefetcherKind.FDIP, mode))
             for mode in FilterMode.ALL
         }
@@ -112,14 +112,14 @@ class TestOptions:
     def test_max_instructions_truncates(self, small_trace_module):
         config = config_for(PrefetcherKind.NONE).replace(
             max_instructions=1000)
-        result = run_simulation(small_trace_module, config)
+        result = simulate(small_trace_module, config)
         assert result.instructions == 1000
 
     def test_warmup_shrinks_measured_instructions(self,
                                                   small_trace_module):
         config = config_for(PrefetcherKind.NONE).replace(
             warmup_instructions=2000)
-        result = run_simulation(small_trace_module, config)
+        result = simulate(small_trace_module, config)
         # Measurement starts once >= 2000 instructions have retired, so
         # the measured region is the remainder (up to one retire group
         # of slack).
@@ -129,14 +129,14 @@ class TestOptions:
     def test_cycle_cap_detects_deadlock(self, small_trace_module):
         config = config_for(PrefetcherKind.NONE).replace(max_cycles=10)
         with pytest.raises(SimulationError):
-            run_simulation(small_trace_module, config)
+            simulate(small_trace_module, config)
 
     def test_wrong_path_off_still_completes(self, small_trace_module):
         import dataclasses
         config = config_for(PrefetcherKind.FDIP)
         config = config.replace(frontend=dataclasses.replace(
             config.frontend, model_wrong_path=False))
-        result = run_simulation(small_trace_module, config)
+        result = simulate(small_trace_module, config)
         assert result.instructions == len(small_trace_module)
         assert result.get("predict.wrong_path_blocks") == 0
 
@@ -145,7 +145,7 @@ class TestOptions:
         config = config_for(PrefetcherKind.FDIP)
         config = config.replace(frontend=dataclasses.replace(
             config.frontend, ftq_depth=1))
-        result = run_simulation(small_trace_module, config)
+        result = simulate(small_trace_module, config)
         assert result.instructions == len(small_trace_module)
         # With no lookahead there are no prefetch candidates.
         assert result.prefetches_issued == 0
@@ -153,17 +153,17 @@ class TestOptions:
 
 class TestInvariantCounters:
     def test_useful_prefetches_bounded_by_issued(self, small_trace_module):
-        result = run_simulation(small_trace_module,
+        result = simulate(small_trace_module,
                                 config_for(PrefetcherKind.FDIP))
         assert result.prefetches_useful <= result.prefetches_issued
 
     def test_bus_utilization_bounded(self, small_trace_module):
         for kind in PrefetcherKind.ALL:
-            result = run_simulation(small_trace_module, config_for(kind))
+            result = simulate(small_trace_module, config_for(kind))
             assert 0.0 <= result.bus_utilization <= 1.0
 
     def test_squashes_match_resolutions(self, small_trace_module):
-        result = run_simulation(small_trace_module,
+        result = simulate(small_trace_module,
                                 config_for(PrefetcherKind.FDIP))
         assert result.get("sim.squashes") == \
             result.get("predict.resolutions")
@@ -191,7 +191,7 @@ class TestKitchenSink:
                                    fetch_accesses_per_cycle=2)
         config = config.replace(frontend=frontend, core=core,
                                 fast_forward_instructions=2000)
-        result = run_simulation(small_trace_module, config)
+        result = simulate(small_trace_module, config)
         assert result.instructions == len(small_trace_module) - 2000
         assert check_invariants(result, warmed_up=True) == []
 
@@ -204,5 +204,5 @@ class TestKitchenSink:
             ftb_l2_sets=128)
         config = config.replace(frontend=dataclasses.replace(
             config.frontend, predictor=predictor))
-        result = run_simulation(small_trace_module, config)
+        result = simulate(small_trace_module, config)
         assert result.instructions == len(small_trace_module)

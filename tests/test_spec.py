@@ -1,29 +1,14 @@
 """Typed experiment points: ``Point``, ``ExperimentSpec``, and the
-legacy-tuple deprecation path."""
+hard-fail path for removed legacy tuple points."""
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
 import repro
 from repro.config import PrefetchConfig, SimConfig
 from repro.errors import ConfigError
-from repro.spec import (
-    ExperimentSpec,
-    Point,
-    _reset_deprecation_warnings,
-    normalize_points,
-)
-
-
-@pytest.fixture(autouse=True)
-def _rearm_tuple_warning():
-    """Each test sees the once-per-process warning fresh."""
-    _reset_deprecation_warnings()
-    yield
-    _reset_deprecation_warnings()
+from repro.spec import ExperimentSpec, Point, normalize_points
 
 
 class TestPoint:
@@ -74,10 +59,9 @@ class TestExperimentSpec:
         assert spec[1].workload == "perl_like"
         assert spec.name == "demo"
 
-    def test_of_normalizes_tuples(self):
-        with pytest.warns(DeprecationWarning):
-            spec = ExperimentSpec.of([("gcc_like", SimConfig())])
-        assert spec[0] == Point("gcc_like", SimConfig())
+    def test_of_rejects_tuples(self):
+        with pytest.raises(ConfigError, match="Point"):
+            ExperimentSpec.of([("gcc_like", SimConfig())])
 
     def test_rejects_non_points(self):
         with pytest.raises(ConfigError, match="ExperimentSpec.of"):
@@ -99,22 +83,19 @@ class TestExperimentSpec:
 class TestNormalizePoints:
     def test_points_pass_through(self):
         points = [Point("gcc_like", SimConfig())]
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            assert normalize_points(points) == points
+        assert normalize_points(points) == points
 
     def test_spec_unwraps(self):
         spec = ExperimentSpec.of([Point("gcc_like", SimConfig())])
         assert normalize_points(spec) == list(spec.points)
 
-    def test_tuples_warn_once_per_process(self):
+    def test_tuples_hard_fail_with_migration_hint(self):
         entry = ("gcc_like", SimConfig())
-        with pytest.warns(DeprecationWarning, match="Point"):
+        with pytest.raises(ConfigError) as excinfo:
             normalize_points([entry])
-        # Second call: already warned, stays silent.
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            normalize_points([entry, entry])
+        # The error must spell out the exact replacement call.
+        assert "removed" in str(excinfo.value)
+        assert "Point('gcc_like', config)" in str(excinfo.value)
 
     def test_garbage_rejected(self):
         with pytest.raises(ConfigError, match="sweep points"):
@@ -135,9 +116,7 @@ class TestRunnerSweepAcceptsSpecs:
     def test_typed_points(self):
         runner = self._runner()
         points = [Point("compress_like", SimConfig(), label="base")]
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            outcome = runner.sweep(points, processes=1)
+        outcome = runner.sweep(points, processes=1)
         assert not outcome.failures
         assert outcome.results[points[0].key].instructions > 0
 
@@ -148,12 +127,10 @@ class TestRunnerSweepAcceptsSpecs:
         outcome = runner.sweep(spec, processes=1)
         assert not outcome.failures
 
-    def test_legacy_tuples_warn_and_run(self):
+    def test_legacy_tuples_rejected(self):
         runner = self._runner()
-        with pytest.warns(DeprecationWarning, match="Point"):
-            outcome = runner.sweep([("compress_like", SimConfig())],
-                                   processes=1)
-        assert not outcome.failures
+        with pytest.raises(ConfigError, match="Point"):
+            runner.sweep([("compress_like", SimConfig())], processes=1)
 
     def test_sharded_point_runs_and_counts(self):
         runner = self._runner()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import PrefetchConfig, PrefetcherKind, SimConfig, run_simulation
+from repro import PrefetchConfig, PrefetcherKind, SimConfig, simulate
 from repro.analysis import bar_chart, histogram_chart
 from repro.cfg import function_to_dot, program_to_dot
 from repro.errors import TraceError
@@ -128,20 +128,20 @@ class TestCombinedPrefetcher:
     def test_runs_to_completion(self, small_trace):
         config = SimConfig(prefetch=PrefetchConfig(
             kind=PrefetcherKind.COMBINED))
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         assert result.instructions == len(small_trace)
         assert result.get("combined.nlp_issued") > 0
         assert result.get("fdip.issued") > 0
 
     def test_not_worse_than_fdip_alone(self, small_trace):
-        fdip = run_simulation(small_trace, SimConfig(
+        fdip = simulate(small_trace, SimConfig(
             prefetch=PrefetchConfig(kind=PrefetcherKind.FDIP)))
-        combined = run_simulation(small_trace, SimConfig(
+        combined = simulate(small_trace, SimConfig(
             prefetch=PrefetchConfig(kind=PrefetcherKind.COMBINED)))
         assert combined.ipc >= fdip.ipc * 0.97
 
     def test_shared_buffer_counts_useful_once(self, small_trace):
         config = SimConfig(prefetch=PrefetchConfig(
             kind=PrefetcherKind.COMBINED))
-        result = run_simulation(small_trace, config)
+        result = simulate(small_trace, config)
         assert result.prefetches_useful <= result.prefetches_issued
