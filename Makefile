@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast lint typecheck bench bench-full perf report calibrate obs-smoke clean
+.PHONY: install test test-fast lint typecheck bench bench-full perf report calibrate obs-smoke serve-smoke clean
 
 # Files under the typed surface: the telemetry spine, the component
 # protocol, and the stable API facade.
@@ -51,6 +51,12 @@ calibrate:
 obs-smoke:
 	$(PY) scripts/obs_smoke.py
 
+# End-to-end serving contract: daemon startup, duplicate requests
+# coalescing to one simulation, cache hits bit-identical to direct
+# runs, clean shutdown — all asserted from the structured event log.
+serve-smoke:
+	$(PY) scripts/serve_smoke.py
+
 clean:
-	rm -rf .trace_cache .result_cache benchmarks/results \
+	rm -rf .trace_cache .result_cache .serve_cache benchmarks/results \
 	       .pytest_cache .hypothesis

@@ -108,7 +108,8 @@ def check_results_unperturbed(workdir: str) -> None:
     bare = simulate(trace, SimConfig())
     configure_logging(file=os.path.join(workdir, "perturb.jsonl"))
     try:
-        observed, profile = profile_run(trace, SimConfig())
+        response = profile_run(trace, SimConfig())
+        observed, profile = response.result, response.profile
     finally:
         reset_logging()
     if observed != bare:

@@ -48,11 +48,15 @@ from repro.errors import (
 from repro.api import (
     ExperimentSpec,
     Point,
+    RunRequest,
+    RunResponse,
     TelemetryNode,
     TelemetrySnapshot,
+    execute,
     make_runner,
     merge_snapshots,
     profile_run,
+    resolve_request,
     simulate,
     sweep,
 )
@@ -80,9 +84,13 @@ __all__ = [
     "sweep",
     "make_runner",
     "profile_run",
-    # experiment specs
+    "execute",
+    # experiment specs and typed requests
     "Point",
     "ExperimentSpec",
+    "RunRequest",
+    "RunResponse",
+    "resolve_request",
     # telemetry
     "TelemetryNode",
     "TelemetrySnapshot",

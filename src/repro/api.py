@@ -14,9 +14,20 @@ exposes a small surface:
   :class:`~repro.spec.ExperimentSpec` names a whole collection
   (legacy ``(workload, config)`` tuples are rejected with a
   :class:`~repro.errors.ConfigError` naming the replacement);
+- :func:`execute` — run one typed :class:`~repro.spec.RunRequest` to a
+  :class:`~repro.spec.RunResponse`; the canonical entry point that the
+  serving daemon, the CLI, and the convenience wrappers all share;
 - :func:`profile_run` — simulate one point with the cycle-attribution
-  profiler on and return ``(result, profile)`` (see
-  :mod:`repro.obs.profile`).
+  profiler on and return a :class:`~repro.spec.RunResponse` whose
+  ``profile`` field carries the ``repro.profile/v1`` document (see
+  :mod:`repro.obs.profile`; unpacking the response as the old
+  ``(result, profile)`` tuple still works for one release, with a
+  deprecation warning).
+
+Every entry point normalizes its inputs through one shared
+:func:`~repro.spec.resolve_request` path, so the identity a result
+cache keys on and the simulation a library call runs can never
+disagree (see ``docs/serving.md`` for the cache-key definition).
 
 Every :class:`~repro.sim.results.SimResult` carries the full
 hierarchical telemetry tree on ``result.telemetry`` (a
@@ -50,6 +61,9 @@ from repro.sim.results import SimResult
 from repro.spec import (  # noqa: F401  (re-exported)
     ExperimentSpec,
     Point,
+    RunRequest,
+    RunResponse,
+    resolve_request,
 )
 from repro.sim.simulator import Simulator
 from repro.stats import TelemetryNode, TelemetrySnapshot, \
@@ -61,8 +75,62 @@ if TYPE_CHECKING:
     from repro.harness.runner import Runner
 
 __all__ = ["simulate", "make_runner", "sweep", "profile_run",
+           "execute", "resolve_request", "RunRequest", "RunResponse",
            "Point", "ExperimentSpec",
            "TelemetryNode", "TelemetrySnapshot", "merge_snapshots"]
+
+
+def execute(request: RunRequest, *, trace: Trace | None = None,
+            processes: int | None = None, profile: bool = False,
+            tracer=None, fast_loop: bool | None = None) -> RunResponse:
+    """Execute one typed request and return its typed response.
+
+    The canonical run entry point: the request is normalized through
+    :func:`~repro.spec.resolve_request` (the same path every cache key
+    derives from), the workload trace is built from the request's
+    ``(workload, trace_length, seed)`` identity unless an in-memory
+    ``trace`` is supplied, and execution dispatches on the resolved
+    shard count — monolithic in-process, or fanned out over the
+    supervised pool (``processes`` workers).
+
+    ``profile=True`` turns the cycle-attribution profiler on (the
+    result stays bit-identical; monolithic runs only) and fills the
+    response's ``profile`` field.  ``tracer`` and ``fast_loop`` are
+    per-call execution knobs that never contribute to the request's
+    identity; a ``tracer`` does not compose with sharding.
+    """
+    request = resolve_request(request)
+    config = request.config
+    if trace is None:
+        from repro.workloads import build_trace
+
+        trace = build_trace(request.workload, request.trace_length,
+                            seed=request.seed)
+    assert request.shards is not None
+    if request.shards > 1:
+        if tracer is not None:
+            raise ConfigError(
+                "a pipeline tracer does not compose with sharded "
+                "simulation; run with shards=1 to trace")
+        if profile:
+            raise ConfigError(
+                "the cycle profiler needs a monolithic run; "
+                "run with shards=1 to profile")
+        from repro.harness.shard_runner import run_sharded
+
+        if fast_loop is not None:
+            config = config.replace(fast_loop=fast_loop)
+        result = run_sharded(trace, config, shards=request.shards,
+                             overlap=request.shard_overlap,
+                             name=request.label, processes=processes)
+        return RunResponse(result=result, request=request)
+    if profile and not config.profile:
+        config = config.replace(profile=True)
+    sim = Simulator(trace, config, name=request.label, tracer=tracer,
+                    fast_loop=fast_loop)
+    result = sim.run()
+    return RunResponse(result=result, request=request,
+                       profile=sim.profile_report() if profile else None)
 
 
 def simulate(trace: Trace, config: SimConfig | None = None, *,
@@ -72,6 +140,10 @@ def simulate(trace: Trace, config: SimConfig | None = None, *,
              shard_overlap: int | None = None,
              processes: int | None = None) -> SimResult:
     """Simulate ``trace`` under ``config`` and return the result.
+
+    A thin shim over :func:`execute`: the trace's identity and the
+    keyword arguments are bundled into a :class:`~repro.spec.
+    RunRequest` and resolved through the shared normalization path.
 
     ``config`` defaults to a stock :class:`~repro.config.SimConfig`.
     ``name`` labels the result (defaults to the trace's name),
@@ -87,22 +159,12 @@ def simulate(trace: Trace, config: SimConfig | None = None, *,
     default of ``None``) runs monolithically; a ``tracer`` does not
     compose with sharding.
     """
-    if config is None:
-        config = SimConfig()
-    if shards is not None and shards > 1:
-        if tracer is not None:
-            raise ConfigError(
-                "a pipeline tracer does not compose with sharded "
-                "simulation; run with shards=1 to trace")
-        from repro.harness.shard_runner import run_sharded
-
-        if fast_loop is not None:
-            config = config.replace(fast_loop=fast_loop)
-        return run_sharded(trace, config, shards=shards,
-                           overlap=shard_overlap, name=name,
-                           processes=processes)
-    return Simulator(trace, config, name=name, tracer=tracer,
-                     fast_loop=fast_loop).run()
+    request = resolve_request(
+        workload=trace.name or "trace", config=config,
+        trace_length=len(trace), seed=trace.seed,
+        shards=shards, shard_overlap=shard_overlap, label=name)
+    return execute(request, trace=trace, processes=processes,
+                   tracer=tracer, fast_loop=fast_loop).result
 
 
 def make_runner(trace_length: int | None = None, seed: int = 1,

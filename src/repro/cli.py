@@ -13,6 +13,10 @@ Subcommands::
     python -m repro shard -w gcc_like --shards 4 # sharded single trace
     python -m repro perf                         # fast-loop throughput
     python -m repro profile -w gcc_like          # cycle attribution
+    python -m repro serve --port 8357            # simulation service
+    python -m repro submit -w gcc_like --wait 60 # request via the daemon
+    python -m repro status job-000001            # job state snapshot
+    python -m repro fetch job-000001 --wait 60   # typed result retrieval
 
 Every subcommand accepts ``--length`` (alias ``--trace-length``) and
 ``--seed``; the pool-backed subcommands (``sweep``, ``stats``,
@@ -32,6 +36,11 @@ worker processes) and ``--trace-export`` (convert the event log into
 Chrome trace-event JSON loadable in Perfetto).  ``profile`` and
 ``stats --profile`` report the per-component cycle-attribution
 breakdown.
+
+Serving (see ``docs/serving.md``): ``serve`` runs the HTTP simulation
+service daemon (priority queue, request coalescing, content-addressed
+result cache); ``submit`` / ``status`` / ``fetch`` are its client
+commands and share ``--host`` / ``--port`` via one parent parser.
 """
 
 from __future__ import annotations
@@ -129,6 +138,19 @@ def _obs_flags() -> argparse.ArgumentParser:
                         help="after the command, convert the event log "
                              "into Chrome trace-event JSON (loadable in "
                              "Perfetto); implies an event log")
+    return parent
+
+
+def _endpoint_flags() -> argparse.ArgumentParser:
+    """Shared ``--host``/``--port`` parent parser (serve and clients)."""
+    from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT
+
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"service address (default {DEFAULT_HOST})")
+    parent.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"service port (default {DEFAULT_PORT}; "
+                             f"'serve' accepts 0 for an ephemeral port)")
     return parent
 
 
@@ -326,6 +348,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--reps", type=int, default=3,
                         help="timing repetitions per point (best-of)")
 
+    endpoint_flags = _endpoint_flags()
+
+    p_serve = sub.add_parser(
+        "serve", parents=[endpoint_flags, obs_flags],
+        help="run the HTTP simulation service daemon")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="concurrent simulation worker threads")
+    p_serve.add_argument("--max-queue-depth", type=int, default=16,
+                         help="queued-request bound; submissions beyond "
+                              "it are rejected with HTTP 429")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="content-addressed result cache directory "
+                              "(default: $REPRO_SERVE_CACHE; unset "
+                              "disables the cache)")
+
+    p_sub = sub.add_parser(
+        "submit", parents=[endpoint_flags, trace_flags],
+        help="submit one simulation request to a running daemon")
+    p_sub.add_argument("-w", "--workload", required=True,
+                       choices=ALL_WORKLOADS)
+    p_sub.add_argument("-p", "--prefetcher", default=PrefetcherKind.FDIP,
+                       choices=PrefetcherKind.ALL)
+    p_sub.add_argument("-f", "--filter", default=FilterMode.ENQUEUE,
+                       choices=FilterMode.ALL,
+                       help="cache probe filtering mode (fdip only)")
+    p_sub.add_argument("--warmup", type=int, default=0)
+    p_sub.add_argument("--shards", type=int, default=None,
+                       help="sharded execution (see 'repro shard')")
+    p_sub.add_argument("--shard-overlap", type=int, default=None,
+                       help="timed warm-up overlap per shard")
+    p_sub.add_argument("--priority", type=int, default=0,
+                       help="queue priority (higher runs sooner)")
+    p_sub.add_argument("--wait", type=float, default=0.0, metavar="S",
+                       help="block up to S seconds and print the "
+                            "result (default: print the job id only)")
+    p_sub.add_argument("--json", action="store_true",
+                       help="with --wait: emit the metrics as JSON")
+
+    p_stat = sub.add_parser(
+        "status", parents=[endpoint_flags],
+        help="print one job's state snapshot as JSON")
+    p_stat.add_argument("job", help="job id from 'repro submit'")
+
+    p_fetch = sub.add_parser(
+        "fetch", parents=[endpoint_flags],
+        help="retrieve one job's result from the daemon")
+    p_fetch.add_argument("job", help="job id from 'repro submit'")
+    p_fetch.add_argument("--wait", type=float, default=0.0, metavar="S",
+                         help="block up to S seconds for completion")
+    p_fetch.add_argument("--json", action="store_true",
+                         help="emit metrics as JSON")
+
     p_rep = sub.add_parser("report", parents=[trace_flags],
                            help="run every experiment, emit markdown")
     p_rep.add_argument("-o", "--output", default="-",
@@ -488,7 +562,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                  if run.resumed_from_cycle is not None else ""),
               file=sys.stderr)
     elif args.profile:
-        result, profile = profile_run(trace, config, name=args.workload)
+        response = profile_run(trace, config, name=args.workload)
+        result, profile = response.result, response.profile
     else:
         result = simulate(trace, config)
     snapshot = result.telemetry
@@ -551,8 +626,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     config = technique_config(_technique_name(args), SimConfig())
     if args.warmup:
         config = config.replace(warmup_instructions=args.warmup)
-    result, profile = profile_run(trace, config, name=args.workload,
-                                  fast_loop=not args.naive_loop)
+    response = profile_run(trace, config, name=args.workload,
+                           fast_loop=not args.naive_loop)
+    result, profile = response.result, response.profile
     if args.json:
         print(json.dumps(profile, indent=2))
         return 0
@@ -774,6 +850,96 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceDaemon, SimulationService
+
+    service = SimulationService(cache_dir=args.cache_dir,
+                                workers=args.workers,
+                                max_queue_depth=args.max_queue_depth)
+    daemon = ServiceDaemon(service, host=args.host, port=args.port)
+    host, port = daemon.address
+    # The startup line is machine-readable on purpose: with --port 0
+    # it is how callers (the smoke test included) learn the bound port.
+    print(f"serving on http://{host}:{port}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _serve_request(args: argparse.Namespace) -> "RunRequest":
+    """One typed request from the submit command's flags."""
+    from repro.spec import RunRequest
+
+    config = technique_config(_technique_name(args), SimConfig())
+    if args.warmup:
+        config = config.replace(warmup_instructions=args.warmup)
+    return RunRequest(workload=args.workload, config=config,
+                      trace_length=_length(args), seed=args.seed,
+                      shards=args.shards,
+                      shard_overlap=args.shard_overlap)
+
+
+def _print_response(job_id: str, response, *, json_out: bool) -> int:
+    result = response.result
+    if json_out:
+        payload = {
+            "job": job_id,
+            "source": response.source,
+            "workload": result.name,
+            "prefetcher": result.prefetcher,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "ipc": result.ipc,
+            "l1i_mpki": result.l1i_mpki,
+            "bus_utilization": result.bus_utilization,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        ["source", response.source],
+        ["IPC", result.ipc],
+        ["cycles", result.cycles],
+        ["instructions", result.instructions],
+        ["L1-I MPKI", result.l1i_mpki],
+        ["bus utilization", result.bus_utilization],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{job_id} ({result.name} / "
+                             f"{result.prefetcher})"))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import Client
+
+    client = Client(args.host, args.port)
+    job_id = client.submit(_serve_request(args), priority=args.priority)
+    if args.wait > 0:
+        return _print_response(job_id,
+                               client.fetch(job_id, wait=args.wait),
+                               json_out=args.json)
+    print(job_id)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve import Client
+
+    print(json.dumps(Client(args.host, args.port).status(args.job),
+                     indent=2))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.serve import Client
+
+    response = Client(args.host, args.port).fetch(args.job,
+                                                  wait=args.wait)
+    return _print_response(args.job, response, json_out=args.json)
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
@@ -797,6 +963,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_perf(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "fetch":
+        return _cmd_fetch(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -22,6 +22,7 @@ __all__ = [
     "trace_length_override",
     "full_run_requested",
     "result_cache_dir",
+    "serve_cache_dir",
     "log_file",
     "log_stderr",
     "log_run_id",
@@ -79,6 +80,24 @@ def result_cache_dir() -> str | None:
     if path.exists() and not path.is_dir():
         raise ConfigError(
             f"REPRO_RESULT_CACHE must name a directory, but {raw!r} "
+            f"exists and is not one")
+    return raw
+
+
+def serve_cache_dir() -> str | None:
+    """``REPRO_SERVE_CACHE``: the service's result-cache directory, or None.
+
+    Same contract as :func:`result_cache_dir`: the directory is created
+    on first store, but an existing non-directory at the path raises
+    :class:`ConfigError` up front instead of failing on the first write.
+    """
+    raw = _raw("REPRO_SERVE_CACHE")
+    if raw is None:
+        return None
+    path = Path(raw)
+    if path.exists() and not path.is_dir():
+        raise ConfigError(
+            f"REPRO_SERVE_CACHE must name a directory, but {raw!r} "
             f"exists and is not one")
     return raw
 

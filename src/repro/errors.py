@@ -115,6 +115,31 @@ class ObservabilityError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """The simulation service was misused or reached a bad state.
+
+    Covers malformed service requests (unknown workload, bad priority),
+    protocol violations between the daemon and its clients, and
+    lookups of job ids the service has never seen.
+    """
+
+
+class QueueFullError(ServeError):
+    """The service's admission queue is at capacity.
+
+    Raised synchronously at submit time (and mapped to HTTP 429 by the
+    daemon) so an overloaded service rejects work explicitly instead of
+    letting clients block on an unbounded backlog.
+    """
+
+    def __init__(self, depth: int, limit: int):
+        self.depth = depth
+        self.limit = limit
+        super().__init__(
+            f"service queue is full ({depth}/{limit} requests pending); "
+            f"retry later or raise max_queue_depth")
+
+
 class CacheCorruptionError(ReproError):
     """A persisted cache entry is corrupt (truncated, garbled, or failing
     its content checksum); the entry has been quarantined, not deleted."""

@@ -11,6 +11,7 @@ from repro.harness.parallel import (
     SweepPoint,
     parallel_sweep,
 )
+from repro.cachekey import cache_key, shard_variant
 from repro.harness.persist import ResultStore, SweepManifest, result_key
 from repro.harness.report import generate_report
 from repro.harness.runner import Runner, default_trace_length, geomean
@@ -46,6 +47,8 @@ __all__ = [
     "ResultStore",
     "SweepManifest",
     "result_key",
+    "cache_key",
+    "shard_variant",
     "generate_report",
     "default_trace_length",
     "geomean",

@@ -28,7 +28,7 @@ import hashlib
 import json
 from pathlib import Path
 
-import repro
+from repro.cachekey import cache_key
 from repro.config import SimConfig
 from repro.errors import CacheCorruptionError
 from repro.fsutil import QUARANTINE_DIR, atomic_write_text, quarantine
@@ -43,16 +43,17 @@ def result_key(workload: str, config: SimConfig, trace_length: int,
                seed: int, variant: str = "") -> str:
     """Stable identity of one simulation point (store/manifest key).
 
+    A thin alias of :func:`repro.cachekey.cache_key` — the Runner, the
+    sweep manifest, the sharded runner, and the serving layer's
+    content-addressed cache all derive their keys from that one helper,
+    so no two layers can ever disagree about a point's identity.
+
     ``variant`` distinguishes alternative executions of the same point —
     notably sharded runs (``shards=K:overlap=N:warm=M``), whose merged
     telemetry approximates but does not equal the monolithic result and
     must never be served from (or poison) the monolithic cache entry.
     """
-    identity = (f"v{repro.__version__}|{workload}|{trace_length}"
-                f"|{seed}|{config!r}")
-    if variant:
-        identity += f"|{variant}"
-    return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:32]
+    return cache_key(workload, config, trace_length, seed, variant)
 
 
 # Crash-safe write/quarantine primitives now live in repro.fsutil,
@@ -63,7 +64,16 @@ _quarantine = quarantine
 
 
 class ResultStore:
-    """Directory-backed map from run identity to SimResult."""
+    """Directory-backed map from run identity to SimResult.
+
+    The classic entry points key by the point's fields
+    (:meth:`load` / :meth:`store`); the key-direct entry points
+    (:meth:`load_key` / :meth:`store_key`) take a precomputed
+    :func:`~repro.cachekey.cache_key` digest — the serving layer's
+    content-addressed :class:`~repro.serve.cache.ResultCache` layers
+    on top of these, inheriting the atomic-write / checksum /
+    quarantine discipline wholesale.
+    """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
@@ -76,6 +86,13 @@ class ResultStore:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.result.json"
 
+    def _check_envelope(self, path: Path, envelope: dict) -> None:
+        """Hook for subclasses to vet envelope metadata before parsing.
+
+        Raise :class:`~repro.errors.CacheCorruptionError` to refuse the
+        entry; the loader then quarantines the file.
+        """
+
     def _parse(self, path: Path, text: str) -> SimResult:
         try:
             envelope = json.loads(text)
@@ -83,6 +100,7 @@ class ResultStore:
             raise CacheCorruptionError(str(path),
                                        f"not valid JSON ({exc})") from None
         if isinstance(envelope, dict) and "payload" in envelope:
+            self._check_envelope(path, envelope)
             payload = envelope["payload"]
             digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
             if digest != envelope.get("checksum"):
@@ -91,47 +109,65 @@ class ResultStore:
         # Legacy entry written before checksumming: parse directly.
         return result_from_json(text)
 
-    def load(self, workload: str, config: SimConfig, trace_length: int,
-             seed: int, variant: str = "") -> SimResult | None:
-        """Return a stored result or None; corrupt files are quarantined."""
-        path = self._path(self._key(workload, config, trace_length, seed,
-                                    variant))
+    def load_key(self, key: str) -> SimResult | None:
+        """Return the result stored under ``key`` or None.
+
+        Corrupt or refused entries are quarantined under
+        ``<dir>/quarantine/`` and counted on :attr:`quarantined`; the
+        load simply misses.
+        """
+        path = self._path(key)
         try:
             text = path.read_text(encoding="utf-8")
         except FileNotFoundError:
             return None
         except UnicodeDecodeError:
             # Garbled beyond UTF-8: corrupt, same as a failed checksum.
-            try:
-                _quarantine(path)
-                self.quarantined += 1
-                obs_events.emit("store_quarantine", data={
-                    "path": str(path), "reason": "not valid UTF-8"})
-            except OSError:
-                pass
+            self._quarantine_entry(path, "not valid UTF-8")
             return None
         try:
             return self._parse(path, text)
         except Exception as exc:  # noqa: BLE001 — corrupt entry, not fatal
-            try:
-                _quarantine(path)
-                self.quarantined += 1
-                obs_events.emit("store_quarantine", data={
-                    "path": str(path), "reason": str(exc)})
-            except OSError:
-                pass
+            self._quarantine_entry(path, str(exc))
             return None
 
-    def store(self, workload: str, config: SimConfig, trace_length: int,
-              seed: int, result: SimResult, variant: str = "") -> None:
-        path = self._path(self._key(workload, config, trace_length, seed,
-                                    variant))
+    def _quarantine_entry(self, path: Path, reason: str) -> None:
+        try:
+            _quarantine(path)
+            self.quarantined += 1
+            obs_events.emit("store_quarantine", data={
+                "path": str(path), "reason": reason})
+        except OSError:
+            pass
+
+    def load(self, workload: str, config: SimConfig, trace_length: int,
+             seed: int, variant: str = "") -> SimResult | None:
+        """Return a stored result or None; corrupt files are quarantined."""
+        return self.load_key(self._key(workload, config, trace_length,
+                                       seed, variant))
+
+    def store_key(self, key: str, result: SimResult,
+                  meta: dict | None = None) -> None:
+        """Store ``result`` under a precomputed key.
+
+        ``meta`` adds envelope fields alongside ``checksum``/``payload``
+        (the serving cache records the originating request and the
+        result schema version there); the payload checksum always wins
+        on conflict.
+        """
+        path = self._path(key)
         payload = result_to_json(result)
-        envelope = json.dumps({
+        fields = dict(meta) if meta else {}
+        fields.update({
             "checksum": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
             "payload": payload,
         })
-        _atomic_write(self.directory, path, envelope)
+        _atomic_write(self.directory, path, json.dumps(fields))
+
+    def store(self, workload: str, config: SimConfig, trace_length: int,
+              seed: int, result: SimResult, variant: str = "") -> None:
+        self.store_key(self._key(workload, config, trace_length, seed,
+                                 variant), result)
 
     def clear(self) -> int:
         """Delete all stored results; returns the number removed."""

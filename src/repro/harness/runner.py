@@ -21,9 +21,10 @@ from repro import env
 # Bound as a module-level name (rather than called through repro.api)
 # so tests can monkeypatch `repro.harness.runner.simulate`.
 from repro.api import simulate
+from repro.cachekey import shard_variant as _shard_variant
 from repro.config import SimConfig
 from repro.errors import RetryExhaustedError
-from repro.spec import Point, normalize_points
+from repro.spec import Point, RunRequest, normalize_points  # noqa: F401
 from repro.sim import SimResult
 from repro.stats.sweep import merge_counters
 from repro.trace import Trace
@@ -65,14 +66,10 @@ def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def shard_variant(shards: int, overlap: int | None,
-                  warm: str = "functional") -> str:
-    """Cache-key variant for a sharded execution of a point."""
-    from repro.sim.sharding import DEFAULT_SHARD_OVERLAP
-
-    if overlap is None:
-        overlap = DEFAULT_SHARD_OVERLAP
-    return f"shards={shards}:overlap={overlap}:warm={warm}"
+# The shard-variant tag is derived next to cache_key() itself (one
+# module owns every piece of result identity); re-exported here because
+# this is where harness callers historically found it.
+shard_variant = _shard_variant
 
 
 class Runner:
@@ -154,14 +151,13 @@ class Runner:
         """
         config = self._warmed(config)
         nshards = self._effective_shards(shards)
+        request = self._request(workload, config, nshards)
         if nshards > 1:
-            return self._run_sharded(workload, config, nshards,
-                                     processes=processes)
+            return self._run_sharded(request, processes=processes)
         key = (workload, config)
         result = self._results.get(key)
         if result is None and self._store is not None:
-            result = self._store.load(workload, config,
-                                      self.trace_length, self.seed)
+            result = self._store.load_key(request.cache_key())
             if result is not None:
                 self._results[key] = result
         if result is None:
@@ -169,33 +165,45 @@ class Runner:
                               name=workload)
             self._results[key] = result
             if self._store is not None:
-                self._store.store(workload, config, self.trace_length,
-                                  self.seed, result)
+                self._store.store_key(request.cache_key(), result)
         return result
 
-    def _run_sharded(self, workload: str, config: SimConfig,
-                     nshards: int, *,
+    def _request(self, workload: str, config: SimConfig,
+                 nshards: int) -> "RunRequest":
+        """The resolved request identifying one (already warmed) point.
+
+        Every cache interaction below keys on this request's
+        :meth:`~repro.spec.RunRequest.cache_key`, the same shared
+        digest the serving layer and the sweep manifest use.
+        """
+        from repro.spec import resolve_request
+
+        return resolve_request(
+            workload=workload, config=config,
+            trace_length=self.trace_length, seed=self.seed,
+            shards=nshards,
+            shard_overlap=self.shard_overlap if nshards > 1 else None)
+
+    def _run_sharded(self, request: "RunRequest", *,
                      processes: int | None = None) -> SimResult:
         """Sharded execution of one point, memoized under its variant."""
         from repro.harness.shard_runner import run_sharded_workload
 
-        variant = shard_variant(nshards, self.shard_overlap)
-        key = (workload, config, variant)
+        key = (request.workload, request.config, request.variant())
         result = self._results.get(key)
         if result is None and self._store is not None:
-            result = self._store.load(workload, config, self.trace_length,
-                                      self.seed, variant=variant)
+            result = self._store.load_key(request.cache_key())
             if result is not None:
                 self._results[key] = result
         if result is None:
             result = run_sharded_workload(
-                workload, self.trace_length, self.seed, config,
-                shards=nshards, overlap=self.shard_overlap,
+                request.workload, self.trace_length, self.seed,
+                request.config, shards=request.shards,
+                overlap=request.shard_overlap,
                 processes=processes or self.processes)
             self._results[key] = result
             if self._store is not None:
-                self._store.store(workload, config, self.trace_length,
-                                  self.seed, result, variant=variant)
+                self._store.store_key(request.cache_key(), result)
         return result
 
     def with_seed(self, seed: int) -> "Runner":

@@ -77,6 +77,10 @@ KINDS = frozenset({
     "sweep_start", "sweep_end", "shard_start", "shard_end",
     # result store
     "store_quarantine",
+    # simulation service (daemon lifecycle + request lifecycle)
+    "serve_start", "serve_stop", "serve_enqueued", "serve_coalesced",
+    "serve_cache_hit", "serve_scheduled", "serve_running", "serve_done",
+    "serve_failed", "serve_rejected",
 })
 
 _ENV_FILE = "REPRO_LOG_FILE"

@@ -43,7 +43,8 @@ from repro.errors import ObservabilityError
 
 if TYPE_CHECKING:
     from repro.config import SimConfig
-    from repro.sim.results import SimResult
+    from repro.sim.results import SimResult  # noqa: F401
+    from repro.spec import RunResponse
     from repro.trace import Trace
 
 __all__ = ["PROFILE_SCHEMA", "CATEGORIES", "CycleProfiler", "profile_run"]
@@ -182,21 +183,26 @@ class CycleProfiler:
 def profile_run(trace: "Trace", config: "SimConfig | None" = None, *,
                 name: str | None = None,
                 fast_loop: bool | None = None,
-                ) -> "tuple[SimResult, dict]":
-    """Simulate ``trace`` with profiling on; return (result, profile).
+                ) -> "RunResponse":
+    """Simulate ``trace`` with profiling on; return a typed response.
 
-    The returned profile is :meth:`CycleProfiler.report` output for the
-    measured region — its buckets sum to ``result.cycles`` — and the
+    The returned :class:`~repro.spec.RunResponse` carries the
+    :class:`~repro.sim.results.SimResult` on ``.result`` and the
+    :meth:`CycleProfiler.report` document for the measured region on
+    ``.profile`` — its buckets sum to ``result.cycles`` — and the
     result itself is bit-identical to an unprofiled run of the same
-    configuration.
-    """
-    from repro.config import SimConfig
-    from repro.sim.simulator import Simulator
+    configuration.  Unpacking the response as the old ``(result,
+    profile)`` tuple still works for one release and warns with a
+    migration hint (the ``run_simulation`` removal precedent).
 
-    if config is None:
-        config = SimConfig()
-    if not config.profile:
-        config = config.replace(profile=True)
-    sim = Simulator(trace, config, name=name, fast_loop=fast_loop)
-    result = sim.run()
-    return result, sim.profile_report()
+    Routed through the shared :func:`~repro.spec.resolve_request`
+    normalization, like every other run entry point.
+    """
+    from repro.api import execute
+    from repro.spec import resolve_request
+
+    request = resolve_request(
+        workload=trace.name or "trace", config=config,
+        trace_length=len(trace), seed=trace.seed, label=name)
+    return execute(request, trace=trace, profile=True,
+                   fast_loop=fast_loop)

@@ -1,0 +1,135 @@
+"""Blocking typed client for the simulation service daemon.
+
+Pure standard library (:mod:`http.client` + JSON).  The client speaks
+the ``/v1`` protocol documented in :mod:`repro.serve.daemon` and
+reconstructs full typed objects on receipt: a fetched job comes back
+as a :class:`~repro.spec.RunResponse` whose ``result`` deserializes
+through :func:`repro.sim.serialize.result_from_dict` — bit-identical
+to the :class:`~repro.sim.results.SimResult` the daemon computed.
+
+Error mapping: HTTP 429 raises
+:class:`~repro.errors.QueueFullError`, any other non-success status
+raises :class:`~repro.errors.ServeError` carrying the daemon's
+``detail`` message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import re
+from urllib.parse import quote
+
+from repro.errors import QueueFullError, ServeError
+from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT
+from repro.sim.serialize import result_from_dict
+from repro.spec import RunRequest, RunResponse
+
+__all__ = ["Client"]
+
+
+class Client:
+    """One daemon endpoint; a fresh connection per call (stateless)."""
+
+    def __init__(self, host: str = DEFAULT_HOST,
+                 port: int = DEFAULT_PORT, *,
+                 timeout: float = 630.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _call(self, method: str, path: str,
+              body: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") \
+                if body is not None else None
+            headers = {"Content-Type": "application/json"} \
+                if payload is not None else {}
+            try:
+                connection.request(method, path, body=payload,
+                                   headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot reach the service at "
+                    f"http://{self.host}:{self.port} ({exc})") from None
+            try:
+                document = json.loads(raw) if raw else {}
+            except ValueError:
+                raise ServeError(
+                    f"service returned non-JSON ({response.status} "
+                    f"{response.reason})") from None
+            if response.status == 429:
+                # Recover (depth, limit) from the daemon's detail line,
+                # e.g. "service queue is full (16/16 requests pending)".
+                detail = str(document.get("detail", ""))
+                numbers = re.findall(r"(\d+)/(\d+)", detail)
+                depth, limit = (map(int, numbers[0]) if numbers
+                                else (0, 0))
+                raise QueueFullError(depth, limit) from None
+            if response.status >= 400:
+                raise ServeError(
+                    f"{method} {path} failed "
+                    f"({response.status}): "
+                    f"{document.get('detail', response.reason)}")
+            return document
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness probe: ``{"ok": true, "version": ...}``."""
+        return self._call("GET", "/v1/health")
+
+    def submit(self, request: RunRequest, *, priority: int = 0) -> str:
+        """Submit one request; returns the job id.
+
+        Raises :class:`~repro.errors.QueueFullError` when the daemon's
+        admission queue is at capacity.
+        """
+        document = self._call("POST", "/v1/submit", body={
+            "request": request.to_dict(), "priority": priority})
+        return document["job"]
+
+    def status(self, job_id: str) -> dict:
+        """The job's state snapshot (see ``Job.snapshot``)."""
+        return self._call("GET", f"/v1/status/{quote(job_id)}")
+
+    def fetch(self, job_id: str, *, wait: float = 0.0) -> RunResponse:
+        """The job's typed response, blocking up to ``wait`` seconds.
+
+        Raises :class:`~repro.errors.ServeError` when the job failed
+        or is still pending after ``wait``.
+        """
+        document = self._call(
+            "GET", f"/v1/result/{quote(job_id)}?wait={wait:g}")
+        return RunResponse(
+            result=result_from_dict(document["result"]),
+            request=RunRequest.from_dict(document["request"]),
+            source=document.get("source", "computed"),
+            profile=document.get("profile"),
+        )
+
+    def run(self, request: RunRequest, *, priority: int = 0,
+            wait: float = 600.0) -> RunResponse:
+        """Submit and block for the response (the one-call form)."""
+        return self.fetch(self.submit(request, priority=priority),
+                          wait=wait)
+
+    def stats(self) -> dict:
+        """Service + cache counters."""
+        return self._call("GET", "/v1/stats")
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit."""
+        self._call("POST", "/v1/shutdown")

@@ -1,4 +1,4 @@
-"""Typed experiment point specifications.
+"""Typed experiment point and request specifications.
 
 Sweeps historically took bare ``(workload, SimConfig)`` tuples, which
 left no room for per-point metadata — a display label, or a per-point
@@ -11,17 +11,37 @@ Bare ``(workload, config)`` tuples are no longer accepted:
 :class:`~repro.errors.ConfigError` naming the :class:`Point`
 replacement (they were deprecated with a warning for several releases
 first).
+
+:class:`RunRequest` / :class:`RunResponse` are the canonical
+request/response pair of the unified run API: one frozen bundle of
+everything that identifies a simulation — workload, configuration,
+trace length, seed, sharding — with a wire form (:meth:`RunRequest.
+to_dict`) and a content-addressed identity (:meth:`RunRequest.
+cache_key`).  :func:`resolve_request` is the single normalization
+path: :func:`repro.api.simulate`, :func:`repro.api.profile_run`,
+:func:`repro.api.execute`, the memoizing runner, and the serving
+daemon all resolve their inputs through it, so the key a cache stores
+under and the simulation a library call runs can never disagree.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
+from repro.cachekey import cache_key, shard_variant
 from repro.config import SimConfig
 from repro.errors import ConfigError
 
-__all__ = ["Point", "ExperimentSpec", "normalize_points"]
+if TYPE_CHECKING:
+    from repro.sim.results import SimResult
+
+__all__ = ["Point", "ExperimentSpec", "normalize_points",
+           "RunRequest", "RunResponse", "resolve_request"]
+
+#: Wire-format tag of one serialized :class:`RunRequest`.
+REQUEST_SCHEMA = "repro.request/v1"
 
 
 @dataclass(frozen=True)
@@ -137,3 +157,236 @@ def normalize_points(points: "Iterable[Point] | ExperimentSpec",
             raise ConfigError(
                 f"sweep points must be Point objects; got {entry!r}")
     return normalized
+
+
+# ----------------------------------------------------------------------
+# Unified run request / response
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Everything that identifies one simulation run.
+
+    A request bundles the workload/trace identity ``(workload,
+    trace_length, seed)``, the full :class:`~repro.config.SimConfig`,
+    and the execution variant (``shards``/``shard_overlap``); ``label``
+    names the run in reports and never contributes to identity.
+
+    ``trace_length=None`` and ``shards=None`` mean "use the default" —
+    :func:`resolve_request` pins them down.  Only a *resolved* request
+    (:attr:`resolved` true) has a :meth:`cache_key`; every cache in the
+    system keys on that digest.
+    """
+
+    workload: str
+    config: SimConfig = field(default_factory=SimConfig)
+    trace_length: int | None = None
+    seed: int = 1
+    shards: int | None = None
+    shard_overlap: int | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workload, str) or not self.workload:
+            raise ConfigError(
+                f"RunRequest.workload must be a non-empty string, "
+                f"got {self.workload!r}")
+        if not isinstance(self.config, SimConfig):
+            raise ConfigError(
+                f"RunRequest.config must be a SimConfig, "
+                f"got {type(self.config).__name__}")
+        if self.trace_length is not None and self.trace_length < 1:
+            raise ConfigError(
+                f"RunRequest.trace_length must be >= 1 or None, "
+                f"got {self.trace_length}")
+        if self.shards is not None and self.shards < 1:
+            raise ConfigError(
+                f"RunRequest.shards must be >= 1 or None, "
+                f"got {self.shards}")
+        if self.shard_overlap is not None and self.shard_overlap < 0:
+            raise ConfigError(
+                f"RunRequest.shard_overlap must be >= 0 or None, "
+                f"got {self.shard_overlap}")
+
+    @property
+    def name(self) -> str:
+        """Display name (``label`` or the workload)."""
+        return self.label if self.label is not None else self.workload
+
+    @property
+    def resolved(self) -> bool:
+        """Whether every identity-bearing default has been pinned down."""
+        return self.trace_length is not None and self.shards is not None
+
+    def variant(self) -> str:
+        """Execution-variant tag ('' monolithic, else the shard tag)."""
+        if self.shards is None or self.shards <= 1:
+            return ""
+        return shard_variant(self.shards, self.shard_overlap)
+
+    def cache_key(self) -> str:
+        """Content-addressed identity digest (resolved requests only).
+
+        See :func:`repro.cachekey.cache_key` for exactly what the
+        digest covers; an unresolved request has no stable identity and
+        raises :class:`~repro.errors.ConfigError`.
+        """
+        if not self.resolved:
+            raise ConfigError(
+                "cache_key needs a resolved request (trace_length and "
+                "shards pinned); pass it through resolve_request first")
+        assert self.trace_length is not None
+        return cache_key(self.workload, self.config, self.trace_length,
+                         self.seed, self.variant())
+
+    def to_dict(self) -> dict:
+        """JSON-compatible wire form (the daemon's request body)."""
+        return {
+            "schema": REQUEST_SCHEMA,
+            "workload": self.workload,
+            "config": self.config.to_dict(),
+            "trace_length": self.trace_length,
+            "seed": self.seed,
+            "shards": self.shards,
+            "shard_overlap": self.shard_overlap,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRequest":
+        """Inverse of :meth:`to_dict`; validates schema and every field."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"RunRequest payload must be a mapping, "
+                f"got {type(data).__name__}")
+        schema = data.get("schema", REQUEST_SCHEMA)
+        if schema != REQUEST_SCHEMA:
+            raise ConfigError(
+                f"unsupported request schema {schema!r} "
+                f"(this build reads {REQUEST_SCHEMA!r})")
+        known = {"schema", "workload", "config", "trace_length", "seed",
+                 "shards", "shard_overlap", "label"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown request key {unknown[0]!r}; valid keys: "
+                f"{', '.join(sorted(known))}")
+        config = data.get("config")
+        return cls(
+            workload=data.get("workload", ""),
+            config=(SimConfig.from_dict(config)
+                    if isinstance(config, dict) else SimConfig()),
+            trace_length=data.get("trace_length"),
+            seed=data.get("seed", 1),
+            shards=data.get("shards"),
+            shard_overlap=data.get("shard_overlap"),
+            label=data.get("label"),
+        )
+
+
+@dataclass(frozen=True)
+class RunResponse:
+    """One executed (or served) :class:`RunRequest`.
+
+    ``source`` says where the result came from: ``"computed"`` (a
+    simulation actually ran), ``"cache"`` (served from the
+    content-addressed result cache), or ``"coalesced"`` (this client
+    shared another client's in-flight simulation).  ``profile`` carries
+    the ``repro.profile/v1`` document when the run was profiled.
+    """
+
+    result: "SimResult"
+    request: RunRequest
+    source: str = "computed"
+    profile: dict | None = None
+
+    SOURCES = ("computed", "cache", "coalesced")
+
+    def __post_init__(self) -> None:
+        if self.source not in self.SOURCES:
+            raise ConfigError(
+                f"RunResponse.source must be one of "
+                f"{', '.join(self.SOURCES)}; got {self.source!r}")
+
+    def __iter__(self) -> Iterator[Any]:
+        # One-release shim: profile_run used to return a bare
+        # (result, profile) tuple, so unpacking must keep working.
+        warnings.warn(
+            "unpacking a RunResponse as (result, profile) is "
+            "deprecated; use response.result and response.profile "
+            "(profile_run now returns a RunResponse)",
+            DeprecationWarning, stacklevel=2)
+        yield self.result
+        yield self.profile
+
+
+def resolve_request(request: RunRequest | None = None, *,
+                    workload: str | None = None,
+                    config: SimConfig | None = None,
+                    trace_length: int | None = None,
+                    seed: int | None = None,
+                    shards: int | None = None,
+                    shard_overlap: int | None = None,
+                    label: str | None = None) -> RunRequest:
+    """Normalize a request (or kwargs) into one resolved RunRequest.
+
+    This is the single normalization path of the run API: defaults are
+    applied exactly once, here — ``config`` to a stock
+    :class:`~repro.config.SimConfig`, ``trace_length`` to the
+    environment-controlled experiment default, ``shards`` to 1
+    (monolithic), and ``shard_overlap`` to the calibrated default when
+    sharding is on (and ``None`` when it is off, so a monolithic
+    request can never encode a meaningless overlap into its identity).
+    Explicit keyword arguments override the corresponding fields of a
+    given ``request``.
+    """
+    if request is not None and not isinstance(request, RunRequest):
+        raise ConfigError(
+            f"expected a RunRequest, got {type(request).__name__} "
+            f"(build one with repro.RunRequest(workload, config))")
+    if request is None:
+        if workload is None:
+            raise ConfigError(
+                "resolve_request needs a RunRequest or workload=...")
+        request = RunRequest(workload=workload,
+                             config=config or SimConfig(),
+                             trace_length=trace_length,
+                             seed=seed if seed is not None else 1,
+                             shards=shards, shard_overlap=shard_overlap,
+                             label=label)
+    else:
+        overrides: dict[str, Any] = {}
+        if workload is not None:
+            overrides["workload"] = workload
+        if config is not None:
+            overrides["config"] = config
+        if trace_length is not None:
+            overrides["trace_length"] = trace_length
+        if seed is not None:
+            overrides["seed"] = seed
+        if shards is not None:
+            overrides["shards"] = shards
+        if shard_overlap is not None:
+            overrides["shard_overlap"] = shard_overlap
+        if label is not None:
+            overrides["label"] = label
+        if overrides:
+            request = replace(request, **overrides)
+
+    resolved_length = request.trace_length
+    if resolved_length is None:
+        from repro.harness.runner import default_trace_length
+
+        resolved_length = default_trace_length()
+    nshards = request.shards if request.shards is not None else 1
+    nshards = max(1, min(nshards, resolved_length))
+    overlap = request.shard_overlap
+    if nshards > 1:
+        if overlap is None:
+            from repro.sim.sharding import DEFAULT_SHARD_OVERLAP
+
+            overlap = DEFAULT_SHARD_OVERLAP
+    else:
+        overlap = None
+    return replace(request, trace_length=resolved_length,
+                   shards=nshards, shard_overlap=overlap)

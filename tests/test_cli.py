@@ -236,3 +236,91 @@ class TestSharedFlags:
         # from an explicit value, so the shared flag must not eagerly
         # substitute the generic default.
         assert build_parser().parse_args(["perf"]).length is None
+
+
+class TestServeParsers:
+    """The serving subcommands share --host/--port via one parent."""
+
+    def test_serve_defaults(self):
+        from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == DEFAULT_HOST
+        assert args.port == DEFAULT_PORT
+        assert args.workers == 1
+        assert args.max_queue_depth == 16
+        assert args.cache_dir is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4",
+             "--max-queue-depth", "2", "--cache-dir", "/tmp/c"])
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.max_queue_depth == 2
+        assert args.cache_dir == "/tmp/c"
+
+    @pytest.mark.parametrize("command", [
+        ["submit", "-w", "compress_like"],
+        ["status", "job-000001"],
+        ["fetch", "job-000001"],
+    ])
+    def test_endpoint_flags_shared(self, command):
+        args = build_parser().parse_args(
+            command + ["--host", "10.0.0.2", "--port", "9999"])
+        assert args.host == "10.0.0.2"
+        assert args.port == 9999
+
+    def test_submit_request_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "-w", "compress_like", "--length", "6000",
+             "--seed", "2", "--shards", "4", "--priority", "3",
+             "--wait", "30", "--json"])
+        assert args.workload == "compress_like"
+        assert args.length == 6000
+        assert args.seed == 2
+        assert args.shards == 4
+        assert args.priority == 3
+        assert args.wait == 30.0
+        assert args.json is True
+
+    def test_submit_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "-w", "nonexistent"])
+
+    def test_fetch_requires_job(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fetch"])
+
+
+class TestServeCommandsAgainstLiveDaemon:
+    def test_submit_status_fetch_roundtrip(self, capsys):
+        from repro.serve import ServiceDaemon
+
+        daemon = ServiceDaemon(port=0)
+        daemon.start_background()
+        host, port = daemon.address
+        endpoint = ["--host", host, "--port", str(port)]
+        try:
+            assert main(["submit", "-w", "compress_like",
+                         "--length", "6000", *endpoint]) == 0
+            job = capsys.readouterr().out.strip()
+            assert job.startswith("job-")
+
+            assert main(["fetch", job, "--wait", "300", "--json",
+                         *endpoint]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["job"] == job
+            assert payload["source"] == "computed"
+            assert payload["cycles"] > 0
+
+            assert main(["status", job, *endpoint]) == 0
+            status = json.loads(capsys.readouterr().out)
+            assert status["state"] == "done"
+        finally:
+            daemon.stop()
+
+    def test_unreachable_daemon_reports_error(self, capsys):
+        assert main(["status", "job-000001",
+                     "--host", "127.0.0.1", "--port", "1"]) == 2
+        assert "error:" in capsys.readouterr().err

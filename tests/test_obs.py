@@ -272,27 +272,32 @@ class TestCycleProfiler:
     @pytest.mark.parametrize("kind", PrefetcherKind.ALL)
     def test_buckets_sum_to_cycles(self, small_trace, kind):
         config = SimConfig(prefetch=PrefetchConfig(kind=kind))
-        result, profile = profile_run(small_trace, config)
+        response = profile_run(small_trace, config)
+        result, profile = response.result, response.profile
+        assert response.source == "computed"
         assert profile["schema"] == PROFILE_SCHEMA
         assert sum(profile["buckets"].values()) == result.cycles
         assert profile["cycles"] == result.cycles
         assert profile["meta"]["prefetcher"] == kind
 
     def test_identical_under_both_engines(self, small_trace):
-        fast_result, fast = profile_run(small_trace, _fdip(),
-                                        fast_loop=True)
-        naive_result, naive = profile_run(small_trace, _fdip(),
-                                          fast_loop=False)
+        fast_response = profile_run(small_trace, _fdip(),
+                                    fast_loop=True)
+        naive_response = profile_run(small_trace, _fdip(),
+                                     fast_loop=False)
+        fast_result, fast = fast_response.result, fast_response.profile
+        naive_result, naive = (naive_response.result,
+                               naive_response.profile)
         assert fast_result == naive_result
         assert fast["buckets"] == naive["buckets"]
 
     def test_profiling_never_perturbs_results(self, small_trace):
         plain = Simulator(small_trace, _fdip()).run()
-        profiled, _ = profile_run(small_trace, _fdip())
+        profiled = profile_run(small_trace, _fdip()).result
         assert profiled == plain
 
     def test_component_regrouping_consistent(self, small_trace):
-        _, profile = profile_run(small_trace, _fdip())
+        profile = profile_run(small_trace, _fdip()).profile
         components = dict(PROFILE_CATEGORIES)
         regrouped = sum(cycles
                         for causes in profile["components"].values()
@@ -304,7 +309,8 @@ class TestCycleProfiler:
 
     def test_warmup_excluded_from_profile(self, small_trace):
         config = _fdip().replace(warmup_instructions=5_000)
-        result, profile = profile_run(small_trace, config)
+        response = profile_run(small_trace, config)
+        result, profile = response.result, response.profile
         # Only the measured region is attributed, not warm-up cycles.
         assert sum(profile["buckets"].values()) == result.cycles
 
