@@ -82,7 +82,8 @@ __all__ = ["simulate", "make_runner", "sweep", "profile_run",
 
 def execute(request: RunRequest, *, trace: Trace | None = None,
             processes: int | None = None, profile: bool = False,
-            tracer=None, fast_loop: bool | None = None) -> RunResponse:
+            tracer=None, fast_loop: bool | None = None,
+            engine: str | None = None) -> RunResponse:
     """Execute one typed request and return its typed response.
 
     The canonical run entry point: the request is normalized through
@@ -95,9 +96,12 @@ def execute(request: RunRequest, *, trace: Trace | None = None,
 
     ``profile=True`` turns the cycle-attribution profiler on (the
     result stays bit-identical; monolithic runs only) and fills the
-    response's ``profile`` field.  ``tracer`` and ``fast_loop`` are
-    per-call execution knobs that never contribute to the request's
-    identity; a ``tracer`` does not compose with sharding.
+    response's ``profile`` field.  ``tracer``, ``engine``, and the
+    deprecated ``fast_loop`` are per-call execution knobs that never
+    contribute to the request's identity (every engine is
+    bit-identical); a ``tracer`` does not compose with sharding.
+    ``engine`` (one of :data:`~repro.config.ENGINES`) takes precedence
+    over ``fast_loop`` when both are given.
     """
     request = resolve_request(request)
     config = request.config
@@ -120,6 +124,8 @@ def execute(request: RunRequest, *, trace: Trace | None = None,
 
         if fast_loop is not None:
             config = config.replace(fast_loop=fast_loop)
+        if engine is not None:
+            config = config.replace(engine=engine, fast_loop=True)
         result = run_sharded(trace, config, shards=request.shards,
                              overlap=request.shard_overlap,
                              name=request.label, processes=processes)
@@ -127,7 +133,7 @@ def execute(request: RunRequest, *, trace: Trace | None = None,
     if profile and not config.profile:
         config = config.replace(profile=True)
     sim = Simulator(trace, config, name=request.label, tracer=tracer,
-                    fast_loop=fast_loop)
+                    fast_loop=fast_loop, engine=engine)
     result = sim.run()
     return RunResponse(result=result, request=request,
                        profile=sim.profile_report() if profile else None)
@@ -136,6 +142,7 @@ def execute(request: RunRequest, *, trace: Trace | None = None,
 def simulate(trace: Trace, config: SimConfig | None = None, *,
              name: str | None = None, tracer=None,
              fast_loop: bool | None = None,
+             engine: str | None = None,
              shards: int | None = None,
              shard_overlap: int | None = None,
              processes: int | None = None) -> SimResult:
@@ -148,9 +155,11 @@ def simulate(trace: Trace, config: SimConfig | None = None, *,
     ``config`` defaults to a stock :class:`~repro.config.SimConfig`.
     ``name`` labels the result (defaults to the trace's name),
     ``tracer`` attaches a per-cycle pipeline tracer (which forces the
-    naive cycle loop), and ``fast_loop`` overrides ``config.fast_loop``
-    for this run — the fast path is bit-identical to the naive loop
-    (see ``docs/performance.md``), so the default of on is safe.
+    naive cycle loop), and ``engine`` overrides ``config.engine`` for
+    this run (one of :data:`~repro.config.ENGINES`; every engine is
+    bit-identical, see ``docs/performance.md``).  ``fast_loop`` is the
+    deprecated boolean predecessor of ``engine`` and loses to it when
+    both are given.
 
     ``shards=K`` splits the trace into ``K`` windows simulated on a
     supervised process pool (``processes`` workers) and merges the
@@ -164,7 +173,8 @@ def simulate(trace: Trace, config: SimConfig | None = None, *,
         trace_length=len(trace), seed=trace.seed,
         shards=shards, shard_overlap=shard_overlap, label=name)
     return execute(request, trace=trace, processes=processes,
-                   tracer=tracer, fast_loop=fast_loop).result
+                   tracer=tracer, fast_loop=fast_loop,
+                   engine=engine).result
 
 
 def make_runner(trace_length: int | None = None, seed: int = 1,

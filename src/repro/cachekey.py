@@ -70,6 +70,12 @@ def cache_key(workload: str, config: "SimConfig", trace_length: int,
     serialized-result schema version.  Two processes that agree on
     those inputs agree on the key; any disagreement (model change,
     schema bump, different seed) yields a disjoint key space.
+
+    Execution-detail knobs (cycle engine, checkpoint/watchdog cadence,
+    profiling, event logging) are normalized out first
+    (:meth:`~repro.config.SimConfig.execution_normalized`): every
+    engine is bit-identical, so a result computed under one serves a
+    request made under any other.
     """
     import repro
     from repro.sim.serialize import SCHEMA_VERSION
@@ -80,7 +86,7 @@ def cache_key(workload: str, config: "SimConfig", trace_length: int,
         "workload": workload,
         "trace_length": int(trace_length),
         "seed": int(seed),
-        "config": config.to_dict(),
+        "config": config.execution_normalized().to_dict(),
         "variant": variant,
     }
     blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))

@@ -11,7 +11,7 @@ Subcommands::
     python -m repro report -o report.md          # all experiments -> md
     python -m repro sweep -t none fdip_enqueue   # fault-tolerant sweep
     python -m repro shard -w gcc_like --shards 4 # sharded single trace
-    python -m repro perf                         # fast-loop throughput
+    python -m repro perf                         # engine throughput
     python -m repro profile -w gcc_like          # cycle attribution
     python -m repro serve --port 8357            # simulation service
     python -m repro submit -w gcc_like --wait 60 # request via the daemon
@@ -51,7 +51,7 @@ import sys
 from typing import Sequence
 
 from repro import env
-from repro.config import FilterMode, PrefetcherKind, SimConfig
+from repro.config import ENGINES, FilterMode, PrefetcherKind, SimConfig
 from repro.errors import ConfigError, ReproError
 from repro.harness import (
     EXPERIMENTS,
@@ -203,9 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--warmup", type=int, default=0)
     p_run.add_argument("--json", action="store_true",
                        help="emit metrics as JSON")
+    p_run.add_argument("--engine", default=None, choices=ENGINES,
+                       help="cycle engine (default: config default, "
+                            "'event'; results are identical under "
+                            "every engine)")
     p_run.add_argument("--naive-loop", action="store_true",
-                       help="disable the fast-path cycle engine "
-                            "(results are identical either way)")
+                       help="deprecated: use --engine naive "
+                            "(one-release shim)")
     p_run.add_argument("--resume-from", default=None, metavar="SNAPSHOT",
                        help="resume from one explicit snapshot file "
                             "(written under --machine-checkpoint-dir)")
@@ -325,15 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=FilterMode.ALL,
                         help="cache probe filtering mode (fdip only)")
     p_prof.add_argument("--warmup", type=int, default=0)
+    p_prof.add_argument("--engine", default=None, choices=ENGINES,
+                        help="cycle engine to profile under (the "
+                             "profile is identical under every engine)")
     p_prof.add_argument("--naive-loop", action="store_true",
-                        help="profile under the naive cycle loop "
-                             "(the profile is identical either way)")
+                        help="deprecated: use --engine naive "
+                             "(one-release shim)")
     p_prof.add_argument("--json", action="store_true",
                         help="emit the repro.profile/v1 document")
 
     p_perf = sub.add_parser(
         "perf", parents=[trace_flags, pool_flags],
-        help="measure simulated-instructions/second, fast vs naive loop")
+        help="measure simulated-instructions/second across the "
+             "cycle engines")
     p_perf.add_argument("--quick", action="store_true",
                         help="short traces (CI smoke mode)")
     p_perf.add_argument("--output", default=None,
@@ -343,10 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: benchmarks/perf_baseline.json "
                              "when it exists)")
     p_perf.add_argument("--max-regression", type=float, default=None,
-                        help="allowed fractional fast-loop throughput "
-                             "drop vs the baseline (default 0.30)")
-    p_perf.add_argument("--reps", type=int, default=3,
-                        help="timing repetitions per point (best-of)")
+                        help="allowed fractional speedup drop vs the "
+                             "baseline, per engine (default 0.15)")
+    p_perf.add_argument("--reps", type=int, default=None,
+                        help="timing repetitions per point "
+                             "(median-of; default 5)")
+    p_perf.add_argument("--warmup", type=int, default=None,
+                        help="untimed warm-up repetitions per point "
+                             "before timing starts (default 1)")
 
     endpoint_flags = _endpoint_flags()
 
@@ -441,6 +453,24 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_engine(args: argparse.Namespace) -> str | None:
+    """Engine selection shared by ``run`` and ``profile``.
+
+    Honours the deprecated ``--naive-loop`` flag for one release:
+    it warns and maps to ``--engine naive``, and conflicts with an
+    explicit ``--engine`` choice.
+    """
+    if getattr(args, "naive_loop", False):
+        if args.engine is not None and args.engine != "naive":
+            raise ConfigError(
+                "--naive-loop conflicts with --engine "
+                f"{args.engine}; drop the deprecated flag")
+        print("warning: --naive-loop is deprecated and will be removed "
+              "next release; use --engine naive", file=sys.stderr)
+        return "naive"
+    return args.engine
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = build_trace(args.workload, _length(args), seed=args.seed)
     config = SimConfig()
@@ -448,6 +478,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.warmup:
         config = config.replace(warmup_instructions=args.warmup)
     config = _apply_robustness_flags(config, args)
+    engine = _resolve_engine(args)
 
     footer = None
     if args.resume_from:
@@ -459,7 +490,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         manager = CheckpointManager(Path(args.resume_from).parent,
                                     meta=meta)
         state = manager.load(args.resume_from)
-        sim = Simulator(trace, config, fast_loop=not args.naive_loop)
+        sim = Simulator(trace, config, engine=engine)
         sim.load_state_dict(state)
         if args.machine_checkpoint_dir and config.checkpoint_interval > 0:
             sink = CheckpointManager(args.machine_checkpoint_dir,
@@ -473,8 +504,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         run = run_with_checkpoints(trace, config,
                                    directory=args.machine_checkpoint_dir,
-                                   name=args.workload,
-                                   fast_loop=not args.naive_loop)
+                                   name=args.workload, engine=engine)
         result = run.result
         footer = (f"checkpointing: {run.snapshots_written} snapshots "
                   f"written to {args.machine_checkpoint_dir}")
@@ -483,7 +513,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if run.quarantined:
             footer += f", {run.quarantined} corrupt snapshots quarantined"
     else:
-        result = simulate(trace, config, fast_loop=not args.naive_loop)
+        result = simulate(trace, config, engine=engine)
     if footer is not None:
         print(footer, file=sys.stderr)
     if args.json:
@@ -627,7 +657,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.warmup:
         config = config.replace(warmup_instructions=args.warmup)
     response = profile_run(trace, config, name=args.workload,
-                           fast_loop=not args.naive_loop)
+                           engine=_resolve_engine(args))
     result, profile = response.result, response.profile
     if args.json:
         print(json.dumps(profile, indent=2))
@@ -809,7 +839,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     length = args.length
     if length is None:
         length = perf.QUICK_LENGTH if args.quick else perf.DEFAULT_LENGTH
-    report = perf.run_perf(length=length, reps=args.reps,
+    reps = args.reps if args.reps is not None else perf.DEFAULT_REPS
+    warmup = (args.warmup if args.warmup is not None
+              else perf.DEFAULT_WARMUP)
+    report = perf.run_perf(length=length, reps=reps, warmup=warmup,
                            seed=args.seed if args.seed != 1 else None)
     output = args.output or perf.DEFAULT_OUTPUT
     perf.write_report(report, output)
@@ -829,7 +862,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         failures = perf.compare_to_baseline(report, baseline,
                                             max_regression)
     else:
-        failures = [f"{name}: results differ between fast and naive loop"
+        failures = [f"{name}: results differ between cycle engines"
                     for name, data in report["points"].items()
                     if not data["identical"]]
     for failure in failures:

@@ -29,6 +29,7 @@ __all__ = [
     "FilterMode",
     "PrefetcherKind",
     "PrefetchConfig",
+    "ENGINES",
     "SimConfig",
     "config_to_dict",
     "config_from_dict",
@@ -300,6 +301,12 @@ class PrefetchConfig:
         _require(self.nlp_degree >= 1, "nlp_degree must be >= 1")
 
 
+#: Cycle-engine names accepted by :attr:`SimConfig.engine` (and the
+#: CLI ``--engine`` flag).  All three are bit-identical; see
+#: ``docs/performance.md`` for when each wins.
+ENGINES = ("naive", "fast", "event")
+
+
 @dataclass(frozen=True)
 class SimConfig:
     """Top-level simulator configuration.
@@ -324,11 +331,25 @@ class SimConfig:
     # cycle-accurately.  Much cheaper than timed warm-up for long traces.
     fast_forward_instructions: int = 0
     max_cycles: int | None = None
-    # Idle-cycle skipping: when the whole front end is provably stalled,
-    # jump the clock to the next cycle anything can make progress.  The
-    # result is bit-identical to the naive cycle-by-cycle loop (see
-    # docs/performance.md); disable only when debugging the engine
-    # itself or driving a per-cycle tracer by hand.
+    # Cycle-engine selection (see docs/performance.md, "Engine
+    # selection").  All three engines are bit-identical; they differ
+    # only in wall-clock cost:
+    #
+    # - "naive": tick every component every cycle.  The reference loop.
+    # - "fast":  the naive loop plus machine-wide idle-window skipping
+    #            (sim/fastpath.py), attempted on every non-delivering
+    #            cycle.  Fastest on fully stall-bound runs; auto-falls
+    #            back to the naive loop when a probe window shows the
+    #            skip machinery never wins (logged as engine_fallback).
+    # - "event": wake scheduling (sim/events.py) — components are
+    #            ticked only when their wake contract says they can do
+    #            real work, and jump attempts are gated on prefetcher
+    #            quiescence.  The default: it matches "fast" on
+    #            stall-bound runs without its overhead elsewhere.
+    engine: str = "event"
+    # Deprecated pre-engine knob, kept for one release: False forces
+    # the naive loop regardless of ``engine``; True (the default)
+    # defers to ``engine``.  Use ``engine="naive"`` instead.
     fast_loop: bool = True
     # Interval telemetry: record a per-window time series (cycles,
     # retired instructions, demand misses, FTQ occupancy mass) every
@@ -356,6 +377,11 @@ class SimConfig:
     event_log: str | None = None
 
     def __post_init__(self) -> None:
+        _require(self.engine in ENGINES,
+                 f"unknown engine {self.engine!r}; expected one of "
+                 f"{', '.join(ENGINES)}")
+        _require(isinstance(self.fast_loop, bool),
+                 "fast_loop must be a bool")
         if self.max_instructions is not None:
             _require(self.max_instructions >= 1,
                      "max_instructions must be >= 1 when given")
@@ -377,6 +403,30 @@ class SimConfig:
                      "event_log must be a non-empty path or None")
         if self.max_cycles is not None:
             _require(self.max_cycles >= 1, "max_cycles must be >= 1")
+
+    @property
+    def resolved_engine(self) -> str:
+        """The cycle engine this config actually selects.
+
+        The deprecated ``fast_loop=False`` knob forces the naive loop
+        (its pre-``engine`` meaning); otherwise :attr:`engine` decides.
+        """
+        return "naive" if not self.fast_loop else self.engine
+
+    def execution_normalized(self) -> "SimConfig":
+        """A copy with execution-detail knobs pinned to their defaults.
+
+        ``engine``, ``fast_loop``, ``checkpoint_interval``,
+        ``watchdog_interval``, ``profile``, and ``event_log`` select
+        *how* a run executes or what it logs, never what it computes —
+        every engine is bit-identical and observability never perturbs
+        the result.  Identity digests (cache keys, checkpoint snapshot
+        metadata) hash this normalized form so results and snapshots
+        stay shareable across engine, cadence, and logging choices.
+        """
+        return self.replace(engine="event", fast_loop=True,
+                            checkpoint_interval=0, watchdog_interval=0,
+                            profile=False, event_log=None)
 
     def replace(self, **changes: object) -> "SimConfig":
         """Return a copy of this config with ``changes`` applied."""

@@ -98,6 +98,12 @@ class Backend(StatsComponent):
         """Completion cycle of the oldest instruction (None when empty)."""
         return self._window[0] if self._window else None
 
+    def next_wake_cycle(self, now: int) -> int | None:
+        """Wake contract: in-order retirement cannot begin before the
+        oldest instruction completes; an empty window retires nothing
+        until fetch delivers (external input)."""
+        return self._window[0] if self._window else None
+
     def _extra_state(self) -> dict:
         return {"window": list(self._window),
                 "wrong_path_occupancy": self._wrong_path_occupancy,

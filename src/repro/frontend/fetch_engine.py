@@ -57,6 +57,12 @@ class FetchEngine(StatsComponent):
         """Cycle the pending demand fill lands (None when not stalled)."""
         return self._waiting_until
 
+    def next_wake_cycle(self, now: int) -> int | None:
+        """Wake contract: the pending demand fill is the only
+        self-scheduled wake; every other fetch stall (empty FTQ, full
+        backend window) clears on external input only."""
+        return self._waiting_until
+
     def tick(self, now: int) -> bool:
         """Perform this cycle's fetch work.
 

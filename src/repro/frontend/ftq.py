@@ -179,16 +179,24 @@ class FetchTargetQueue(StatsComponent):
         be fetched anyway, lowering ``stop`` avoids prefetching far
         (likelier-wrong-path) blocks.
         """
-        window = self._entries[start:stop]
-        for entry in window:
+        entries = self._entries
+        stop = len(entries) if stop is None else min(stop, len(entries))
+        for index in range(start, stop):
+            entry = entries[index]
             if not entry.prefetch_scanned:
                 yield entry
 
     def has_unscanned(self, start: int = 1,
                       stop: int | None = None) -> bool:
-        """Whether :meth:`prefetch_candidates` would yield anything."""
-        for entry in self._entries[start:stop]:
-            if not entry.prefetch_scanned:
+        """Whether :meth:`prefetch_candidates` would yield anything.
+
+        Index-based (no slice allocation): this sits on the event
+        engine's per-cycle quiescence gate.
+        """
+        entries = self._entries
+        stop = len(entries) if stop is None else min(stop, len(entries))
+        for index in range(start, stop):
+            if not entries[index].prefetch_scanned:
                 return True
         return False
 

@@ -88,6 +88,12 @@ class PredictUnit(StatsComponent):
         """Cycle a pending L2-FTB promotion completes (None when idle)."""
         return self._ftb_wait_until
 
+    def next_wake_cycle(self, now: int) -> int | None:
+        """Wake contract: a pending L2-FTB promotion is the only
+        self-scheduled wake; FTQ-full, unresolved mispredictions, and
+        trace exhaustion clear on external input (or never)."""
+        return self._ftb_wait_until
+
     @property
     def out_of_records(self) -> bool:
         """Every correct-path trace record has been consumed."""

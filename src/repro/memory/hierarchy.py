@@ -141,6 +141,12 @@ class MemorySystem(StatsComponent):
         """Earliest pending fill-completion cycle (None when none)."""
         return self._events[0][0] if self._events else None
 
+    def next_wake_cycle(self, now: int) -> int | None:
+        """Wake contract: the memory system self-schedules exactly its
+        pending fill completions (the per-cycle tag-port budget reset
+        is input-free bookkeeping the engines inline)."""
+        return self._events[0][0] if self._events else None
+
     def drain_in_flight(self) -> None:
         """Complete every outstanding fill immediately (end of simulation)."""
         while self._events:

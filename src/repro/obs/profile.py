@@ -183,6 +183,7 @@ class CycleProfiler:
 def profile_run(trace: "Trace", config: "SimConfig | None" = None, *,
                 name: str | None = None,
                 fast_loop: bool | None = None,
+                engine: str | None = None,
                 ) -> "RunResponse":
     """Simulate ``trace`` with profiling on; return a typed response.
 
@@ -205,4 +206,4 @@ def profile_run(trace: "Trace", config: "SimConfig | None" = None, *,
         workload=trace.name or "trace", config=config,
         trace_length=len(trace), seed=trace.seed, label=name)
     return execute(request, trace=trace, profile=True,
-                   fast_loop=fast_loop)
+                   fast_loop=fast_loop, engine=engine)

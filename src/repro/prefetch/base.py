@@ -45,6 +45,13 @@ class Prefetcher(StatsComponent, ABC):
     get the protocol for free.
     """
 
+    #: True only when :meth:`tick` is a complete no-op on *every* cycle
+    #: (not merely when quiescent) — no queues drained, no counters
+    #: bumped, no internal clock kept.  The event engine elides the
+    #: per-cycle tick call entirely for such prefetchers.  The default
+    #: is conservatively False.
+    inert_tick: bool = False
+
     def __init__(self, name: str, memory: MemorySystem):
         self.memory = memory
         self.stats = StatGroup(name)
@@ -116,6 +123,13 @@ class Prefetcher(StatsComponent, ABC):
         buffers) update it here so later LRU decisions match the naive
         cycle-by-cycle loop bit for bit.
         """
+
+    def next_wake_cycle(self, now: int) -> int | None:
+        """Wake contract: a quiescent prefetcher is input-driven —
+        demand accesses, fills, and FTQ pushes wake it, none of which
+        happen inside a proven-idle span — so it contributes no bound.
+        (Only consulted while :meth:`quiescent` holds.)"""
+        return None
 
     def squash(self) -> None:
         """Pipeline flush notification (default: nothing to drop)."""

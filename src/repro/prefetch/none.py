@@ -15,6 +15,8 @@ __all__ = ["NonePrefetcher"]
 class NonePrefetcher(Prefetcher):
     """Issues no prefetches; every L1-I miss pays full latency."""
 
+    inert_tick = True   # tick is a literal no-op on every cycle
+
     def __init__(self, memory: MemorySystem,
                  config: PrefetchConfig | None = None):
         super().__init__("nopf", memory)

@@ -23,10 +23,10 @@ happens to those snapshots:
   supervising process, and drop the now-useless snapshots.
 
 Identity metadata (:func:`snapshot_meta`) binds snapshots to the
-(trace, config, package version) that produced them.  The three config
-fields that provably do not affect the result — ``fast_loop``,
-``checkpoint_interval``, ``watchdog_interval`` — are excluded from the
-digest (as are the observability fields ``profile`` and ``event_log``),
+(trace, config, package version) that produced them.  The config
+fields that provably do not affect the result — ``engine``,
+``fast_loop``, ``checkpoint_interval``, ``watchdog_interval`` — are
+excluded from the digest (as are the observability fields ``profile`` and ``event_log``),
 so a snapshot taken under one engine or cadence resumes cleanly
 under another (resume is bit-identical either way; see
 ``tests/test_checkpoint.py``).
@@ -85,14 +85,13 @@ _KILL_MARKER = "crash-drill.done"
 def snapshot_meta(trace: Trace, config: SimConfig) -> dict:
     """Identity metadata binding snapshots to one (trace, config) run.
 
-    ``fast_loop``, ``checkpoint_interval``, ``watchdog_interval``,
-    ``profile``, and ``event_log`` are normalized out of the config
-    digest: none of them affects the simulated result, so snapshots
-    stay resumable across engine, cadence, and observability changes.
+    ``engine``, ``fast_loop``, ``checkpoint_interval``,
+    ``watchdog_interval``, ``profile``, and ``event_log`` are
+    normalized out of the config digest: none of them affects the
+    simulated result, so snapshots stay resumable across engine,
+    cadence, and observability changes.
     """
-    normalized = config.replace(fast_loop=True, checkpoint_interval=0,
-                                watchdog_interval=0, profile=False,
-                                event_log=None)
+    normalized = config.execution_normalized()
     digest = hashlib.sha256(repr(normalized).encode("utf-8")) \
         .hexdigest()[:16]
     return {
@@ -332,6 +331,7 @@ def run_with_checkpoints(trace: Trace, config: SimConfig, *,
                          directory: str | Path,
                          name: str | None = None,
                          fast_loop: bool | None = None,
+                         engine: str | None = None,
                          keep: int = 2, resume: bool = True,
                          cleanup: bool = True) -> CheckpointedRun:
     """Run one simulation with periodic snapshots and crash resume.
@@ -349,7 +349,8 @@ def run_with_checkpoints(trace: Trace, config: SimConfig, *,
     """
     manager = CheckpointManager(directory, meta=snapshot_meta(trace, config),
                                 keep=keep)
-    sim = Simulator(trace, config, name=name, fast_loop=fast_loop)
+    sim = Simulator(trace, config, name=name, fast_loop=fast_loop,
+                    engine=engine)
     resumed_from = None
     if resume:
         state = manager.latest()

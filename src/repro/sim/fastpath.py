@@ -1,4 +1,4 @@
-"""Idle-cycle skip planning for the fast-path cycle engine.
+"""Idle-cycle stall proofs shared by the fast and event cycle engines.
 
 A trace-driven run spends most of its cycles with every component
 stalled: fetch blocked on a fill, the prediction unit blocked on a full
@@ -7,29 +7,37 @@ prefetcher with nothing queued.  Each such cycle does nothing but bump
 one stall counter per stalled component and record an (unchanged) FTQ
 occupancy sample.
 
-:func:`plan_skip` recognises exactly those cycles *by proof*, not by
-heuristic: it returns a plan only when every component's next tick is
-known to be a pure stall-counter bump, and computes the earliest future
-cycle at which anything can change:
+:func:`stall_proof` recognises exactly those cycles *by proof*, not by
+heuristic: it succeeds only when every component's next tick is known
+to be a pure stall-counter bump, and collects each component's
+self-scheduled wake bound through the uniform
+:meth:`~repro.component.Component.next_wake_cycle` contract:
 
-- the next memory fill completion (``MemorySystem.next_event_cycle``),
-- the next backend instruction completion (``Backend.next_completion``),
+- the next memory fill completion (``MemorySystem.next_wake_cycle``),
+- the next backend instruction completion (``Backend.next_wake_cycle``),
 - the scheduled branch-resolution cycle,
-- the cycle fetch's pending demand fill lands (``waiting_until``),
-- the cycle a pending L2-FTB promotion completes (``ftb_wait_until``).
+- the cycle fetch's pending demand fill lands
+  (``FetchEngine.next_wake_cycle``),
+- the cycle a pending L2-FTB promotion completes
+  (``PredictUnit.next_wake_cycle``).
 
-The simulator then jumps the clock to one cycle before that bound and
-batch-applies the per-cycle bookkeeping the naive loop would have done
-(the stall counters, the occupancy samples, the prefetcher's internal
-clock), making fast and naive runs **bit-identical** — the same
-``SimResult``, counter for counter.  The equivalence matrix lives in
-``tests/test_fast_loop_equivalence.py``; the invariants each component
-must uphold are documented in ``docs/performance.md``.
+:func:`plan_skip` (the fast engine's entry point) combines the proof
+with the prefetcher's quiescence declaration and the earliest wake
+bound into a :class:`SkipPlan`; the simulator then jumps the clock to
+one cycle before that bound and batch-applies the per-cycle bookkeeping
+the naive loop would have done (the stall counters, the occupancy
+samples, the prefetcher's internal clock), making all engines
+**bit-identical** — the same ``SimResult``, counter for counter.  The
+event engine (``sim/events.py``) reuses the same proof but orders the
+two jump gates adaptively and the wake bounds through its
+:class:`~repro.sim.events.WakeCalendar`.  The equivalence matrix lives
+in ``tests/test_fast_loop_equivalence.py``; the invariants each
+component must uphold are documented in ``docs/performance.md``.
 
 Why each gate is sound, in cycle-schedule order:
 
 1. ``memory.begin_cycle`` only completes fills due this cycle; with the
-   skip bounded by ``next_event_cycle`` no fill is due in the window.
+   skip bounded by the memory wake no fill is due in the window.
 2. ``backend.retire`` retires nothing before ``next_completion``; a
    non-empty window bumps ``retire_stall_cycles`` once per cycle.
 3. Resolution is bounded by ``_resolve_at``.
@@ -55,7 +63,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from repro.sim.simulator import Simulator
 
-__all__ = ["SkipPlan", "plan_skip"]
+__all__ = ["SkipPlan", "stall_proof", "plan_skip"]
 
 
 @dataclass(slots=True)
@@ -69,23 +77,29 @@ class SkipPlan:
     retire_stalled: bool      # backend window non-empty in the window
 
 
-def plan_skip(sim: "Simulator", cycle: int,
-              max_cycles: int) -> SkipPlan | None:
-    """Plan a jump from ``cycle`` over provably idle cycles.
+def stall_proof(sim: "Simulator", cycle: int):
+    """Prove that no component except the prefetcher can do real work.
 
-    Returns None when any component could do real work next cycle.  The
-    returned plan never jumps past ``max_cycles + 1``, so the cycle-cap
-    deadlock error fires with identical state to the naive loop; a fully
-    deadlocked machine (no bound at all) jumps straight to the cap.
+    Returns ``(fetch_counter, predict_counter, retire_stalled, wakes)``
+    when every non-prefetch component's next tick is a pure
+    stall-counter bump, or None when any of them could do real work
+    next cycle.  ``wakes`` is a list of ``(cycle, source)`` wake bounds
+    gathered through each component's
+    :meth:`~repro.component.Component.next_wake_cycle` contract — the
+    earliest of them is the first cycle at which anything can change.
+
+    The prefetcher is deliberately excluded: callers combine the proof
+    with :meth:`~repro.prefetch.base.Prefetcher.quiescent` in the order
+    that is cheapest for their engine (the fast engine checks it last,
+    the event engine adapts the order to the workload).
     """
-    bounds = []
+    # Failure checks run before any wake collection so a rejected
+    # attempt (the common case on busy stretches) allocates nothing.
 
     # --- fetch engine ------------------------------------------------
-    fetch = sim.fetch_engine
-    waiting = fetch.waiting_until
-    if waiting is not None:
+    fetch_wake = sim.fetch_engine.next_wake_cycle(cycle)
+    if fetch_wake is not None:
         fetch_counter = "miss_stall_cycles"
-        bounds.append(waiting)
     else:
         head = sim.ftq.head()
         if head is None:
@@ -98,15 +112,15 @@ def plan_skip(sim: "Simulator", cycle: int,
 
     # --- prediction unit ---------------------------------------------
     predict = sim.predict_unit
+    predict_wake = None
     if sim.ftq.full:
         # tick checks FTQ-full before the L2-FTB wait, so a pending
         # promotion neither clears nor bounds anything while full.
-        predict_counter = "ftq_full_stalls"
+        predict_counter: str | None = "ftq_full_stalls"
     else:
-        ftb_wait = predict.ftb_wait_until
-        if ftb_wait is not None:
+        predict_wake = predict.next_wake_cycle(cycle)
+        if predict_wake is not None:
             predict_counter = "ftb_l2_stall_cycles"
-            bounds.append(ftb_wait)
         elif predict.awaiting_resolution:
             if sim.config.frontend.model_wrong_path:
                 return None   # producing wrong-path blocks every cycle
@@ -116,21 +130,44 @@ def plan_skip(sim: "Simulator", cycle: int,
         else:
             return None   # would produce a fetch block
 
+    # --- self-scheduled progress bounds -------------------------------
+    wakes: list[tuple[int, str]] = []
+    if fetch_wake is not None:
+        wakes.append((fetch_wake, "fetch.fill"))
+    if predict_wake is not None:
+        wakes.append((predict_wake, "predict.ftb_l2"))
+    wake = sim.memory.next_wake_cycle(cycle)
+    if wake is not None:
+        wakes.append((wake, "memory.fill"))
+    wake = sim.backend.next_wake_cycle(cycle)
+    retire_stalled = wake is not None
+    if retire_stalled:
+        wakes.append((wake, "backend.completion"))
+    if sim._resolve_at is not None:
+        wakes.append((sim._resolve_at, "resolution"))
+
+    return fetch_counter, predict_counter, retire_stalled, wakes
+
+
+def plan_skip(sim: "Simulator", cycle: int,
+              max_cycles: int) -> SkipPlan | None:
+    """Plan a jump from ``cycle`` over provably idle cycles.
+
+    Returns None when any component could do real work next cycle.  The
+    returned plan never jumps past ``max_cycles + 1``, so the cycle-cap
+    deadlock error fires with identical state to the naive loop; a fully
+    deadlocked machine (no bound at all) jumps straight to the cap.
+    """
+    proof = stall_proof(sim, cycle)
+    if proof is None:
+        return None
+    fetch_counter, predict_counter, retire_stalled, wakes = proof
+
     # --- prefetch engine ----------------------------------------------
     if not sim.prefetcher.quiescent(sim.ftq):
         return None
 
-    # --- progress bounds ----------------------------------------------
-    next_fill = sim.memory.next_event_cycle
-    if next_fill is not None:
-        bounds.append(next_fill)
-    next_completion = sim.backend.next_completion
-    if next_completion is not None:
-        bounds.append(next_completion)
-    if sim._resolve_at is not None:
-        bounds.append(sim._resolve_at)
-
-    target = min(bounds) if bounds else max_cycles + 1
+    target = min(w for w, _ in wakes) if wakes else max_cycles + 1
     if target > max_cycles + 1:
         target = max_cycles + 1
     skipped = target - cycle - 1
@@ -139,4 +176,4 @@ def plan_skip(sim: "Simulator", cycle: int,
     return SkipPlan(target=target, cycles=skipped,
                     fetch_counter=fetch_counter,
                     predict_counter=predict_counter,
-                    retire_stalled=next_completion is not None)
+                    retire_stalled=retire_stalled)

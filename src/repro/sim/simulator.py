@@ -22,9 +22,9 @@ from typing import Callable
 
 from repro.bpred import ReturnAddressStack, make_direction_predictor
 from repro.component import Component
-from repro.config import SimConfig
+from repro.config import ENGINES, SimConfig
 from repro.cpu import Backend
-from repro.errors import SimulationError, WatchdogStallError
+from repro.errors import ConfigError, SimulationError, WatchdogStallError
 from repro.frontend import FetchEngine, FetchTargetQueue, FTQEntry, \
     PredictUnit
 from repro.ftb import FetchTargetBuffer, TwoLevelFTB
@@ -44,6 +44,18 @@ __all__ = ["Simulator", "make_prefetcher"]
 
 _DEFAULT_CYCLE_CAP_PER_INSTR = 200
 
+# Fast-engine fallback (see run()): probe the skip ratio over the
+# first telemetry window (or this many cycles when interval telemetry
+# is off) and latch to the naive loop when the skip machinery is
+# provably not winning — per-cycle failed proofs are pure overhead.
+# The two thresholds give the probe hysteresis: below MIN it falls
+# back (one-way latch, logged as an ``engine_fallback`` event); at or
+# above KEEP it stops probing; in between it keeps re-probing
+# window by window.
+_FALLBACK_PROBE_WINDOW = 4096
+_FALLBACK_MIN_RATIO = 0.01
+_FALLBACK_KEEP_RATIO = 0.05
+
 
 class Simulator:
     """One configured machine, ready to run one trace.
@@ -51,16 +63,20 @@ class Simulator:
     Everything beyond the trace and config is keyword-only:
 
     - ``name`` labels the result (defaults to the trace's name);
-    - ``tracer`` attaches a per-cycle pipeline tracer (disables the
-      fast path — a tracer observes every cycle by definition);
-    - ``fast_loop`` overrides ``config.fast_loop`` for this run.  The
-      fast path skips provably idle cycles in one jump and is
-      bit-identical to the naive loop (see ``docs/performance.md``).
+    - ``tracer`` attaches a per-cycle pipeline tracer (forces the
+      naive loop — a tracer observes every cycle by definition);
+    - ``engine`` overrides ``config.engine`` for this run: one of
+      ``"naive"``, ``"fast"``, ``"event"``.  All three are
+      bit-identical (see ``docs/performance.md``, "Engine selection");
+    - ``fast_loop`` is the deprecated pre-``engine`` override, kept
+      for one release: True selects the fast engine, False the naive
+      loop.  ``engine`` wins when both are given.
     """
 
     def __init__(self, trace: Trace, config: SimConfig, *,
                  name: str | None = None, tracer=None,
-                 fast_loop: bool | None = None):
+                 fast_loop: bool | None = None,
+                 engine: str | None = None):
         if config.max_instructions is not None \
                 and config.max_instructions < len(trace):
             trace = trace.slice(0, config.max_instructions)
@@ -100,7 +116,19 @@ class Simulator:
 
         self.cycle = 0
         self.tracer = tracer
-        self.fast_loop = config.fast_loop if fast_loop is None else fast_loop
+        if engine is None:
+            if fast_loop is not None:
+                engine = "fast" if fast_loop else "naive"
+            else:
+                engine = config.resolved_engine
+        elif engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {engine!r}; expected one of "
+                f"{', '.join(ENGINES)}")
+        self.engine = engine
+        # Back-compat mirror of the pre-engine attribute (True for any
+        # skipping engine); scheduled for removal with the knob itself.
+        self.fast_loop = engine != "naive"
         self.skipped_cycles = 0   # diagnostics only; not a statistic
         # Opt-in cycle-attribution profiler (see repro/obs/profile.py).
         # It lives outside the telemetry tree on purpose: SimResult
@@ -198,7 +226,8 @@ class Simulator:
             max_cycles = _DEFAULT_CYCLE_CAP_PER_INSTR * total + 100_000
 
         # A tracer observes every cycle; it forces the naive loop.
-        fast = self.fast_loop and self.tracer is None
+        engine = self.engine if self.tracer is None else "naive"
+        fast = engine == "fast"
         tracer = self.tracer
         profiler = self.profiler
         memory = self.memory
@@ -236,9 +265,29 @@ class Simulator:
         if self.config.event_log is not None:
             obs_events.attach_log_file(self.config.event_log)
         obs_events.emit("run_start", data={
-            "name": self.name, "engine": "fast" if fast else "naive",
+            "name": self.name, "engine": engine,
             "cycle": self.cycle, "instructions": total,
             "resumed": self.cycle > 0})
+
+        if engine == "event":
+            from repro.sim.events import run_event_loop
+
+            occupancy, sampler = run_event_loop(
+                self, total=total, warmup=warmup, max_cycles=max_cycles,
+                occupancy=occupancy, sampler=sampler, interval=interval,
+                sink=sink, next_ckpt=next_ckpt, watchdog=watchdog)
+            return self._finish(occupancy, sampler, mem_stats)
+
+        # Fast-engine fallback probe: measure the observed skip ratio
+        # over the first telemetry window; when the skip machinery is
+        # (almost) never winning, every further plan attempt is pure
+        # overhead — latch to the naive loop for the rest of the run.
+        # At least the default probe span: a tiny telemetry window
+        # would judge the skip machinery before it ever gets a chance.
+        probe_window = max(window, _FALLBACK_PROBE_WINDOW)
+        probe_start = self.cycle
+        probe_skipped = self.skipped_cycles
+        probe_at = probe_start + probe_window
 
         while backend.retired < total:
             self.cycle += 1
@@ -286,9 +335,31 @@ class Simulator:
                 # (the fetched guard merely pre-filters active cycles;
                 # the retired guard keeps the loop's exit cycle — and
                 # therefore the reported cycle count — identical)
-                plan = plan_skip(self, cycle, max_cycles)
-                if plan is not None:
-                    self._apply_skip(plan, occupancy, sampler)
+                if cycle >= probe_at:
+                    span = cycle - probe_start
+                    skipped = self.skipped_cycles - probe_skipped
+                    ratio = skipped / span if span > 0 else 1.0
+                    if ratio < _FALLBACK_MIN_RATIO:
+                        # One-way latch: results are identical either
+                        # way, only the per-cycle proof overhead goes.
+                        fast = False
+                        obs_events.emit("engine_fallback", data={
+                            "name": self.name, "cycle": cycle,
+                            "probe_cycles": span,
+                            "skipped_cycles": skipped,
+                            "skip_ratio": round(ratio, 6),
+                            "from_engine": "fast",
+                            "to_engine": "naive"})
+                    elif ratio >= _FALLBACK_KEEP_RATIO:
+                        probe_at = max_cycles + 1   # healthy: stop probing
+                    else:
+                        probe_start = cycle
+                        probe_skipped = self.skipped_cycles
+                        probe_at = cycle + probe_window
+                if fast:
+                    plan = plan_skip(self, cycle, max_cycles)
+                    if plan is not None:
+                        self._apply_skip(plan, occupancy, sampler)
 
             if watchdog > 0:
                 if backend.retired > progress_retired:
@@ -308,14 +379,21 @@ class Simulator:
                 sink(self.state_dict(occupancy=occupancy, sampler=sampler))
                 next_ckpt = self.cycle + interval
 
+        return self._finish(occupancy, sampler, mem_stats)
+
+    def _finish(self, occupancy: RunLengthObserver,
+                sampler: IntervalSampler | None,
+                mem_stats: StatGroup) -> SimResult:
+        """Shared end-of-run finalization for every engine."""
         occupancy.flush()
         intervals = None
         if sampler is not None:
-            intervals = sampler.finalize(self.cycle, backend.retired,
-                                         mem_stats.get("demand_misses"))
+            intervals = sampler.finalize(
+                self.cycle, self.backend.retired,
+                mem_stats.get("demand_misses"))
         obs_events.emit("run_end", data={
             "name": self.name, "cycle": self.cycle,
-            "retired": backend.retired,
+            "retired": self.backend.retired,
             "skipped_cycles": self.skipped_cycles})
         return self._collect(intervals)
 

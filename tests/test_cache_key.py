@@ -34,6 +34,20 @@ class TestCacheKey:
         nopf = SimConfig(prefetch=PrefetchConfig(kind="none"))
         assert cache_key("gcc_like", nopf, 60_000, 1) != base
 
+    def test_execution_knobs_do_not_contribute(self):
+        """Engine, cadence, and logging choices never affect the
+        result, so they must never fork the key space."""
+        base = cache_key("gcc_like", SimConfig(), 60_000, 1)
+        for changes in ({"engine": "naive"}, {"engine": "fast"},
+                        {"fast_loop": False},
+                        {"checkpoint_interval": 500},
+                        {"watchdog_interval": 1000},
+                        {"profile": True},
+                        {"event_log": "events.jsonl"}):
+            varied = SimConfig(**changes)
+            assert cache_key("gcc_like", varied, 60_000, 1) == base, \
+                changes
+
     def test_config_dict_ordering_is_irrelevant(self):
         """The digest covers the *canonical* config form.
 

@@ -3,7 +3,7 @@
 The load-bearing property is at the top: a simulation resumed from ANY
 snapshot produces a bit-identical :class:`~repro.sim.SimResult` —
 including interval telemetry — to the uninterrupted run, for every
-prefetcher variant, under both engines, and across engine switches.
+prefetcher variant, under every cycle engine, and across engine switches.
 Snapshots round-trip through JSON in these tests exactly as they do on
 disk, so object-identity bugs (shared sidecars, live histogram
 references) cannot hide behind in-process aliasing.
@@ -16,7 +16,8 @@ import random
 
 import pytest
 
-from repro.config import PrefetchConfig, PrefetcherKind, SimConfig
+from repro.config import ENGINES, PrefetchConfig, PrefetcherKind, \
+    SimConfig
 from repro.errors import CheckpointError, WatchdogStallError
 from repro.fsutil import QUARANTINE_DIR
 from repro.harness.supervise import RetryPolicy, run_supervised
@@ -41,16 +42,16 @@ def _config(kind: str = PrefetcherKind.FDIP, **changes) -> SimConfig:
     return config.replace(**changes) if changes else config
 
 
-def _reference(config: SimConfig, fast_loop: bool):
+def _reference(config: SimConfig, engine: str = "event"):
     """Uninterrupted run; returns (result, JSON-round-tripped snapshots)."""
-    sim = Simulator(_TRACE, config, fast_loop=fast_loop)
+    sim = Simulator(_TRACE, config, engine=engine)
     states: list[dict] = []
     sim.checkpoint_sink = lambda s: states.append(json.loads(json.dumps(s)))
     return sim.run(), states
 
 
-def _resume(config: SimConfig, state: dict, fast_loop: bool):
-    sim = Simulator(_TRACE, config, fast_loop=fast_loop)
+def _resume(config: SimConfig, state: dict, engine: str = "event"):
+    sim = Simulator(_TRACE, config, engine=engine)
     sim.load_state_dict(json.loads(json.dumps(state)))
     return sim.run()
 
@@ -61,38 +62,41 @@ def _resume(config: SimConfig, state: dict, fast_loop: bool):
 
 class TestResumeBitIdentity:
 
-    @pytest.mark.parametrize("fast_loop", [True, False],
-                             ids=["fast", "naive"])
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("kind", PrefetcherKind.ALL)
-    def test_every_variant_resumes_identically(self, kind, fast_loop):
+    def test_every_variant_resumes_identically(self, kind, engine):
         """Fuzz: arbitrary snapshot cadence, arbitrary resume points."""
-        rng = random.Random(1000 * fast_loop
+        rng = random.Random(1000 * ENGINES.index(engine)
                             + PrefetcherKind.ALL.index(kind))
         interval = rng.randrange(150, 700)
         config = _config(kind, checkpoint_interval=interval)
-        ref, states = _reference(config, fast_loop)
+        ref, states = _reference(config, engine)
         assert states, "trace too short to ever snapshot"
         for state in rng.sample(states, min(3, len(states))):
-            assert _resume(config, state, fast_loop) == ref
+            assert _resume(config, state, engine) == ref
 
     def test_resume_crosses_engines(self):
-        """A snapshot taken under one engine resumes under the other."""
+        """A snapshot taken under one engine resumes under any other."""
         config = _config(checkpoint_interval=400)
-        ref, fast_states = _reference(config, True)
-        naive_ref, naive_states = _reference(config, False)
-        assert naive_ref == ref
-        mid = fast_states[len(fast_states) // 2]
-        assert _resume(config, mid, False) == ref
-        assert _resume(config, naive_states[len(naive_states) // 2],
-                       True) == ref
+        refs, states = {}, {}
+        for engine in ENGINES:
+            refs[engine], states[engine] = _reference(config, engine)
+        ref = refs["naive"]
+        assert all(refs[engine] == ref for engine in ENGINES)
+        for source in ENGINES:
+            mid = states[source][len(states[source]) // 2]
+            for target in ENGINES:
+                if target != source:
+                    assert _resume(config, mid, target) == ref, \
+                        (source, target)
 
     def test_resume_inside_warmup_region(self):
         """Snapshots before the measurement reset still resume exactly."""
         config = _config(checkpoint_interval=250,
                          warmup_instructions=LENGTH // 2)
-        ref, states = _reference(config, True)
-        assert _resume(config, states[0], True) == ref
-        assert _resume(config, states[-1], True) == ref
+        ref, states = _reference(config)
+        assert _resume(config, states[0]) == ref
+        assert _resume(config, states[-1]) == ref
 
 
 # ----------------------------------------------------------------------
@@ -205,7 +209,7 @@ class TestRunWithCheckpoints:
 
     def test_clean_run_writes_summary_and_cleans_up(self, tmp_path):
         config = _config(checkpoint_interval=500)
-        ref, _ = _reference(config, True)
+        ref, _ = _reference(config)
         run = run_with_checkpoints(_TRACE, config, directory=tmp_path)
         assert run.result == ref
         assert run.snapshots_written > 0
@@ -217,7 +221,7 @@ class TestRunWithCheckpoints:
 
     def test_resumes_from_snapshot_on_disk(self, tmp_path):
         config = _config(checkpoint_interval=400)
-        ref, states = _reference(config, True)
+        ref, states = _reference(config)
         seed_mgr = CheckpointManager(tmp_path,
                                      meta=snapshot_meta(_TRACE, config))
         seed_mgr.write(states[1])
@@ -229,7 +233,7 @@ class TestRunWithCheckpoints:
 
     def test_refuses_other_runs_snapshots(self, tmp_path):
         config = _config(checkpoint_interval=400)
-        _, states = _reference(config, True)
+        _, states = _reference(config)
         seed_mgr = CheckpointManager(tmp_path,
                                      meta=snapshot_meta(_TRACE, config))
         seed_mgr.write(states[0])
@@ -239,7 +243,7 @@ class TestRunWithCheckpoints:
 
     def test_resume_false_ignores_snapshots(self, tmp_path):
         config = _config(checkpoint_interval=400)
-        ref, states = _reference(config, True)
+        ref, states = _reference(config)
         seed_mgr = CheckpointManager(tmp_path,
                                      meta=snapshot_meta(_TRACE, config))
         seed_mgr.write(states[1])
@@ -255,14 +259,13 @@ class TestRunWithCheckpoints:
 
 class TestWatchdog:
 
-    @pytest.mark.parametrize("fast_loop", [True, False],
-                             ids=["fast", "naive"])
-    def test_fires_with_state_dump(self, fast_loop):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_fires_with_state_dump(self, engine):
         # Nothing retires in the first few cycles (fill latency), so a
         # 2-cycle watchdog converts that into the typed stall error any
         # genuine livelock would produce.
         config = _config(watchdog_interval=2)
-        sim = Simulator(_TRACE, config, fast_loop=fast_loop)
+        sim = Simulator(_TRACE, config, engine=engine)
         with pytest.raises(WatchdogStallError) as info:
             sim.run()
         err = info.value
@@ -272,8 +275,8 @@ class TestWatchdog:
 
     def test_quiet_on_progressing_run(self):
         config = _config(watchdog_interval=10_000)
-        ref, _ = _reference(config.replace(checkpoint_interval=500), True)
-        sim = Simulator(_TRACE, config, fast_loop=True)
+        ref, _ = _reference(config.replace(checkpoint_interval=500))
+        sim = Simulator(_TRACE, config)
         assert sim.run() == ref
 
 

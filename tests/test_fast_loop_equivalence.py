@@ -1,12 +1,14 @@
-"""Bit-identity of the fast-path cycle engine against the naive loop.
+"""Bit-identity of the accelerated cycle engines against the naive loop.
 
-The fast path (``SimConfig.fast_loop``, see ``repro/sim/fastpath.py``)
-jumps over provably idle cycles in one step.  Its correctness claim is
-absolute: the full :class:`~repro.sim.results.SimResult` — every
+The fast path (``engine="fast"``, see ``repro/sim/fastpath.py``) jumps
+over provably idle cycles in one step; the event engine
+(``engine="event"``, see ``repro/sim/events.py``) additionally elides
+per-component work inside productive cycles.  Their correctness claim
+is absolute: the full :class:`~repro.sim.results.SimResult` — every
 counter, every histogram, every derived metric — must equal the naive
 cycle-by-cycle loop's, for every prefetcher and configuration.  These
-tests sweep that claim across the prefetcher kinds, cache-probe-filter
-modes, trace seeds, and the warm-up-reset edge case.
+tests sweep that claim across the engine matrix, the prefetcher kinds,
+cache-probe-filter modes, trace seeds, and the warm-up-reset edge case.
 """
 
 from __future__ import annotations
@@ -15,14 +17,15 @@ from dataclasses import replace
 
 import pytest
 
-from repro.config import FilterMode, PrefetchConfig, PrefetcherKind, \
-    SimConfig
+from repro.config import ENGINES, FilterMode, PrefetchConfig, \
+    PrefetcherKind, SimConfig
 from repro.sim.simulator import Simulator
 from repro.trace import Trace
 
 ALL_KINDS = PrefetcherKind.ALL
 CPF_MODES = (FilterMode.ENQUEUE, FilterMode.REMOVE)
 SEEDS = (9, 23)
+ACCELERATED = tuple(e for e in ENGINES if e != "naive")
 
 
 @pytest.fixture(scope="module")
@@ -31,66 +34,75 @@ def traces(small_program):
             for seed in SEEDS}
 
 
-def both(trace: Trace, config: SimConfig):
-    """(naive result, fast result, fast simulator) for one point."""
-    naive = Simulator(trace, config, fast_loop=False).run()
-    sim = Simulator(trace, config, fast_loop=True)
-    fast = sim.run()
-    return naive, fast, sim
+def run_all(trace: Trace, config: SimConfig):
+    """``{engine: (result, simulator)}`` over every registered engine."""
+    out = {}
+    for engine in ENGINES:
+        sim = Simulator(trace, config, engine=engine)
+        out[engine] = (sim.run(), sim)
+    return out
 
 
-def assert_identical(naive, fast):
+def assert_identical(naive, other, engine="fast"):
     """Equality with a readable counter-level diff on failure.
 
     ``SimResult`` equality covers the full telemetry snapshot (tree,
     meta, and interval series), so every comparison here is also a
     snapshot-identity assertion.
     """
-    if naive == fast:
-        assert naive.telemetry == fast.telemetry
+    if naive == other:
+        assert naive.telemetry == other.telemetry
         return
     diffs = [f"{key}: naive={naive.counters.get(key)} "
-             f"fast={fast.counters.get(key)}"
-             for key in sorted(set(naive.counters) | set(fast.counters))
-             if naive.counters.get(key) != fast.counters.get(key)]
+             f"{engine}={other.counters.get(key)}"
+             for key in sorted(set(naive.counters) | set(other.counters))
+             if naive.counters.get(key) != other.counters.get(key)]
     for field in ("cycles", "instructions", "mispredicts",
                   "ftq_mean_occupancy", "ftq_occupancy_hist",
                   "fetch_block_hist", "prefetch_lead_hist"):
-        if getattr(naive, field) != getattr(fast, field):
+        if getattr(naive, field) != getattr(other, field):
             diffs.append(f"{field}: naive={getattr(naive, field)!r} "
-                         f"fast={getattr(fast, field)!r}")
-    if naive.telemetry != fast.telemetry:
-        nt, ft = naive.telemetry, fast.telemetry
-        if nt is not None and ft is not None \
-                and nt.intervals != ft.intervals:
+                         f"{engine}={getattr(other, field)!r}")
+    if naive.telemetry != other.telemetry:
+        nt, ot = naive.telemetry, other.telemetry
+        if nt is not None and ot is not None \
+                and nt.intervals != ot.intervals:
             diffs.append(f"intervals: naive={nt.intervals!r} "
-                         f"fast={ft.intervals!r}")
+                         f"{engine}={ot.intervals!r}")
         else:
             diffs.append("telemetry snapshots differ")
-    raise AssertionError("fast loop diverged from naive loop:\n  "
+    raise AssertionError(f"{engine} engine diverged from naive loop:\n  "
                          + "\n  ".join(diffs))
+
+
+def assert_matrix_identical(runs):
+    naive = runs["naive"][0]
+    for engine in ACCELERATED:
+        assert_identical(naive, runs[engine][0], engine)
 
 
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("mode", CPF_MODES)
 @pytest.mark.parametrize("kind", ALL_KINDS)
-def test_fast_loop_matches_naive(traces, kind, mode, seed):
+def test_engine_matrix_matches_naive(traces, kind, mode, seed):
     config = SimConfig(prefetch=PrefetchConfig(kind=kind,
                                                filter_mode=mode))
-    naive, fast, _ = both(traces[seed], config)
-    assert_identical(naive, fast)
+    assert_matrix_identical(run_all(traces[seed], config))
 
 
-def test_fast_loop_actually_skips(traces):
+def test_accelerated_engines_actually_skip(traces):
     """A stall-heavy run must exercise the skip machinery, or the
     matrix above proves nothing."""
     config = SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.NONE))
     config = config.replace(
         memory=replace(config.memory, memory_latency=400))
-    naive, fast, sim = both(traces[SEEDS[0]], config)
-    assert_identical(naive, fast)
-    assert sim.skipped_cycles > 0
-    assert sim.skipped_cycles < sim.cycle
+    runs = run_all(traces[SEEDS[0]], config)
+    assert_matrix_identical(runs)
+    for engine in ACCELERATED:
+        sim = runs[engine][1]
+        assert sim.skipped_cycles > 0, engine
+        assert sim.skipped_cycles < sim.cycle, engine
+    assert runs["naive"][1].skipped_cycles == 0
 
 
 def test_warmup_reset_straddles_skip_window(traces):
@@ -107,16 +119,18 @@ def test_warmup_reset_straddles_skip_window(traces):
             warmup_instructions=warmup)
         config = config.replace(
             memory=replace(config.memory, memory_latency=400))
-        naive, fast, sim = both(traces[SEEDS[0]], config)
-        assert_identical(naive, fast)
-        assert sim.skipped_cycles > 0
+        runs = run_all(traces[SEEDS[0]], config)
+        assert_matrix_identical(runs)
+        for engine in ACCELERATED:
+            assert runs[engine][1].skipped_cycles > 0, engine
 
 
+@pytest.mark.parametrize("engine", ACCELERATED)
 @pytest.mark.parametrize("kind", (PrefetcherKind.NONE,
                                   PrefetcherKind.FDIP,
                                   PrefetcherKind.STREAM))
-def test_interval_series_identical_under_batching(traces, kind):
-    """Per-window interval samples must be bit-identical fast vs naive.
+def test_interval_series_identical_under_batching(traces, kind, engine):
+    """Per-window interval samples must be bit-identical per engine.
 
     The sampler reconstructs window boundaries that fall *inside* a
     skipped-cycle batch analytically; a small window against a
@@ -126,17 +140,19 @@ def test_interval_series_identical_under_batching(traces, kind):
                        telemetry_window=64)
     config = config.replace(
         memory=replace(config.memory, memory_latency=400))
-    naive, fast, sim = both(traces[SEEDS[0]], config)
+    naive = Simulator(traces[SEEDS[0]], config, engine="naive").run()
+    sim = Simulator(traces[SEEDS[0]], config, engine=engine)
+    accel = sim.run()
     assert sim.skipped_cycles > 0
-    assert naive.telemetry is not None and fast.telemetry is not None
+    assert naive.telemetry is not None and accel.telemetry is not None
     assert naive.telemetry.intervals is not None
-    assert naive.telemetry.intervals == fast.telemetry.intervals
-    assert_identical(naive, fast)
+    assert naive.telemetry.intervals == accel.telemetry.intervals
+    assert_identical(naive, accel, engine)
     # The series must tile the measured region: windows are contiguous,
     # and the per-window instruction deltas sum to the run's total.
-    samples = fast.telemetry.intervals.samples
-    assert sum(s.instructions for s in samples) == fast.instructions
-    assert sum(s.cycles for s in samples) == fast.cycles
+    samples = accel.telemetry.intervals.samples
+    assert sum(s.instructions for s in samples) == accel.instructions
+    assert sum(s.cycles for s in samples) == accel.cycles
     assert samples[-1].end_cycle == sim.cycle
 
 
@@ -146,25 +162,28 @@ def test_interval_series_with_warmup_reset(traces):
                        warmup_instructions=1000, telemetry_window=64)
     config = config.replace(
         memory=replace(config.memory, memory_latency=400))
-    naive, fast, sim = both(traces[SEEDS[0]], config)
-    assert sim.skipped_cycles > 0
-    assert_identical(naive, fast)
-    samples = fast.telemetry.intervals.samples
-    assert sum(s.instructions for s in samples) == fast.instructions
-    assert sum(s.cycles for s in samples) == fast.cycles
+    runs = run_all(traces[SEEDS[0]], config)
+    assert_matrix_identical(runs)
+    for engine in ACCELERATED:
+        result, sim = runs[engine]
+        assert sim.skipped_cycles > 0, engine
+        samples = result.telemetry.intervals.samples
+        assert sum(s.instructions for s in samples) == result.instructions
+        assert sum(s.cycles for s in samples) == result.cycles
 
 
 def test_tracer_forces_naive_loop(traces):
-    """A tracer must observe every cycle: fast_loop is ignored."""
+    """A tracer must observe every cycle: any engine drops to naive."""
     from repro.analysis import PipeTracer
 
     config = SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.FDIP))
-    tracer = PipeTracer(start=1, length=50)
-    sim = Simulator(traces[SEEDS[0]], config, tracer=tracer,
-                    fast_loop=True)
-    sim.run()
-    assert sim.skipped_cycles == 0
-    assert len(tracer.snapshots) > 0
+    for engine in ACCELERATED:
+        tracer = PipeTracer(start=1, length=50)
+        sim = Simulator(traces[SEEDS[0]], config, tracer=tracer,
+                        engine=engine)
+        sim.run()
+        assert sim.skipped_cycles == 0, engine
+        assert len(tracer.snapshots) > 0, engine
 
 
 def test_fast_loop_config_knob(traces):

@@ -177,7 +177,7 @@ class TestSimulatorEvents:
         kinds = [e["kind"] for e in events]
         assert kinds == ["run_start", "warmup_end", "run_end"]
         start, warm, end = events
-        assert start["data"]["engine"] == "fast"
+        assert start["data"]["engine"] == "event"   # the default engine
         assert start["data"]["resumed"] is False
         assert warm["data"]["cycle"] < end["data"]["cycle"]
         # run_end's retired counts the whole run, warm-up included.
